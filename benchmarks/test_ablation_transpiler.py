@@ -1,0 +1,73 @@
+"""Ablation: SABRE best-of-N repetition depth selection (paper Sec. 5.3).
+
+The paper transpiles with SABRE and keeps the minimum-depth circuit of 100
+repetitions.  We measure how transpiled depth improves with the trial
+budget, and quantify the depth advantage of reduced circuits -- the reason
+smaller graphs accumulate less noise.
+"""
+
+import numpy as np
+
+from _common import connected_er, header, row, run_once
+from repro.core.reduction import GraphReducer
+from repro.qaoa.circuit_builder import build_qaoa_circuit
+from repro.quantum.backends import get_backend
+from repro.quantum.transpiler import transpile
+from repro.utils.graphs import relabel_to_range
+
+TRIAL_BUDGETS = (1, 5, 20)
+
+
+def test_ablation_sabre_trial_budget(benchmark):
+    backend = get_backend("kolkata")
+
+    def experiment():
+        graph = connected_er(10, 0.4, seed=55)
+        circuit = build_qaoa_circuit(relabel_to_range(graph), [0.7], [0.4])
+        depths = {}
+        for trials in TRIAL_BUDGETS:
+            result = transpile(circuit, backend, trials=trials, seed=0)
+            depths[trials] = (result.depth, result.swap_count)
+        return depths
+
+    depths = run_once(benchmark, experiment)
+
+    header("Ablation: SABRE best-of-N depth selection", device="kolkata")
+    for trials, (depth, swaps) in depths.items():
+        row(f"{trials} trial(s)", depth=depth, swaps=swaps)
+
+    # More trials never yields a deeper best circuit.
+    budget_list = sorted(depths)
+    for small, large in zip(budget_list, budget_list[1:]):
+        assert depths[large][0] <= depths[small][0]
+
+
+def test_ablation_reduced_circuit_depth(benchmark):
+    backend = get_backend("kolkata")
+
+    def experiment():
+        rows = []
+        for seed in range(4):
+            graph = connected_er(12, 0.4, seed=seed)
+            reduction = GraphReducer(seed=seed).reduce(graph)
+            full = transpile(
+                build_qaoa_circuit(relabel_to_range(graph), [0.7], [0.4]),
+                backend, trials=8, seed=seed,
+            )
+            red = transpile(
+                build_qaoa_circuit(reduction.reduced_graph, [0.7], [0.4]),
+                backend, trials=8, seed=seed,
+            )
+            rows.append((full.depth, red.depth, full.circuit.two_qubit_gate_count(),
+                         red.circuit.two_qubit_gate_count()))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    header("Ablation: transpiled depth, original vs reduced circuits")
+    for index, (fd, rd, f2q, r2q) in enumerate(rows):
+        row(f"graph {index}", full_depth=fd, reduced_depth=rd,
+            full_cx=f2q, reduced_cx=r2q)
+
+    # Reduced circuits are shallower and use fewer 2-qubit gates on average.
+    assert np.mean([r[1] for r in rows]) < np.mean([r[0] for r in rows])
+    assert np.mean([r[3] for r in rows]) < np.mean([r[2] for r in rows])

@@ -1,0 +1,86 @@
+"""Figure 1: noise-induced degradation of QAOA convergence.
+
+Paper protocol: 6-node and 10-node graphs, 100 COBYLA iterations, ideal vs
+noisy optimization; approximation ratios diverge under noise, and the
+10-node noisy run stagnates (~60%) while the 6-node stays higher (~80%).
+We reproduce the two claims: (a) noisy optimization ends below ideal, and
+(b) the noise penalty grows from 6 to 10 nodes.
+"""
+
+import numpy as np
+
+from _common import connected_er, header, row, run_once
+from repro.qaoa.expectation import maxcut_expectation, noisy_maxcut_expectation
+from repro.qaoa.fast_sim import FastNoiseSpec
+from repro.qaoa.maxcut import brute_force_maxcut
+from repro.qaoa.optimizer import cobyla_optimize
+from repro.quantum.backends import get_backend
+from repro.utils.graphs import relabel_to_range
+
+MAXITER = 100
+RESTARTS = 2
+
+
+def _final_ratio(graph, noise, seed):
+    """Best *measured* approximation ratio after optimization.
+
+    Fig. 1 plots the approximation ratio the (possibly noisy) execution
+    itself reports: under noise the measured expectation is damped and the
+    curve stagnates -- 60% for the 10-node graph vs 80% for the 6-node one
+    in the paper.  The optimizer's own best objective value over the run is
+    exactly that quantity.
+    """
+    relabeled = relabel_to_range(graph)
+    optimum, _ = brute_force_maxcut(relabeled)
+    rng = np.random.default_rng(seed)
+    if noise is None:
+        fn = lambda g, b: maxcut_expectation(relabeled, g, b)
+    else:
+        fn = lambda g, b: noisy_maxcut_expectation(
+            relabeled, g, b, noise, trajectories=4, shots=2048, seed=rng
+        )
+    best = -np.inf
+    for restart in range(RESTARTS):
+        trace = cobyla_optimize(fn, p=1, maxiter=MAXITER, seed=seed + restart)
+        best = max(best, trace.best_value)
+    return best / optimum
+
+
+NUM_GRAPHS = 4
+
+
+def test_fig01_noise_degradation(benchmark):
+    backend = get_backend("toronto")
+
+    def experiment():
+        results = {}
+        for n in (6, 10):
+            ideal_ratios, noisy_ratios = [], []
+            for seed in range(NUM_GRAPHS):
+                graph = connected_er(n, 0.5, seed=100 * n + seed)
+                noise = FastNoiseSpec.for_graph(backend, graph)
+                ideal_ratios.append(_final_ratio(graph, None, seed=seed))
+                noisy_ratios.append(_final_ratio(graph, noise, seed=seed))
+            results[n] = {
+                "ideal": float(np.mean(ideal_ratios)),
+                "noisy": float(np.mean(noisy_ratios)),
+            }
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    header(
+        "Figure 1: QAOA approximation ratio, ideal vs noisy optimization",
+        maxiter=MAXITER, restarts=RESTARTS, graphs_per_size=NUM_GRAPHS,
+        noise="toronto",
+    )
+    for n, r in results.items():
+        row(f"{n}-node graph", ideal=r["ideal"], noisy=r["noisy"],
+            penalty=r["ideal"] - r["noisy"])
+
+    # Claim (a): noise degrades the final ratio for the larger instance.
+    assert results[10]["noisy"] <= results[10]["ideal"] + 1e-9
+    # Claim (b): the larger graph suffers at least as much from noise.
+    penalty_6 = results[6]["ideal"] - results[6]["noisy"]
+    penalty_10 = results[10]["ideal"] - results[10]["noisy"]
+    assert penalty_10 >= penalty_6 - 0.02

@@ -1,0 +1,54 @@
+"""Figure 5: correlation between AND ratio and landscape MSE.
+
+Paper protocol: 15 random graphs, all unique non-isomorphic connected
+subgraphs, 1-layer QAOA grid of width 30 (900 points); MSE of each
+subgraph's normalized landscape against its original correlates with the
+subgraph's Average-Node-Degree ratio; a 6th-degree polynomial fits the
+cloud.  We use fewer graphs and cap subgraph enumeration for laptop
+runtime, and assert a significant negative correlation (higher AND ratio
+-> lower MSE).
+"""
+
+import numpy as np
+
+from _common import connected_er, header, row, run_once
+from repro.core.equivalence import fit_polynomial, subgraph_and_mse_study
+
+NUM_GRAPHS = 4
+WIDTH = 30
+MAX_SUBGRAPHS_PER_SIZE = 12
+
+
+def test_fig05_and_ratio_mse_correlation(benchmark):
+    def experiment():
+        samples = []
+        for seed in range(NUM_GRAPHS):
+            graph = connected_er(8 + seed % 2, 0.45, seed=seed)
+            samples.extend(
+                subgraph_and_mse_study(
+                    graph,
+                    min_size=3,
+                    max_subgraphs_per_size=MAX_SUBGRAPHS_PER_SIZE,
+                    width=WIDTH,
+                )
+            )
+        return samples
+
+    samples = run_once(benchmark, experiment)
+    ratios = np.array([s.and_ratio for s in samples])
+    mses = np.array([s.mse for s in samples])
+    correlation = float(np.corrcoef(ratios, mses)[0, 1])
+    coeffs = fit_polynomial(samples, degree=6)
+
+    header(
+        "Figure 5: AND ratio vs landscape MSE",
+        graphs=NUM_GRAPHS, width=WIDTH, samples=len(samples),
+    )
+    row("pearson correlation", r=correlation)
+    for ratio in (0.4, 0.6, 0.8, 1.0):
+        row(f"poly fit @ AND ratio {ratio}", mse=float(np.polyval(coeffs, ratio)))
+
+    # The paper's scatter shows a clear negative relationship.
+    assert correlation < -0.3
+    # Near-matching AND (ratio ~1) should predict near-zero MSE.
+    assert np.polyval(coeffs, 1.0) < np.polyval(coeffs, 0.4)

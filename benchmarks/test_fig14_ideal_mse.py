@@ -1,0 +1,62 @@
+"""Figure 14: ideal-landscape MSE per dataset for p = 1, 2, 3.
+
+Paper: with 1024 random parameter sets per p, the MSE between the reduced
+and original graphs' energies stays below ~0.01 for AIDS/Linux and around
+0.05 for (small, dense) IMDb, growing slightly with p.  We use 512
+parameter sets and 8 graphs per dataset.
+"""
+
+import numpy as np
+
+from _common import header, row, run_once
+from repro.core.reduction import GraphReducer
+from repro.datasets import load_dataset
+from repro.qaoa.landscape import (
+    evaluate_parameter_sets,
+    landscape_mse,
+    sample_parameter_sets,
+)
+
+DATASETS = ("aids", "linux", "imdb")
+P_VALUES = (1, 2, 3)
+NUM_SETS = 512
+COUNT = 8
+
+
+def test_fig14_ideal_mse_by_dataset_and_depth(benchmark):
+    def experiment():
+        table = {}
+        for name in DATASETS:
+            graphs = load_dataset(name, count=COUNT, min_nodes=5, max_nodes=10, seed=0)
+            reducer = GraphReducer(seed=0)
+            reductions = [reducer.reduce(g) for g in graphs]
+            for p in P_VALUES:
+                gammas, betas = sample_parameter_sets(p, NUM_SETS, seed=p)
+                mses = []
+                for g, reduction in zip(graphs, reductions):
+                    if reduction.reduced_graph.number_of_edges() == 0:
+                        continue
+                    ref = evaluate_parameter_sets(g, gammas, betas)
+                    red = evaluate_parameter_sets(reduction.reduced_graph, gammas, betas)
+                    mses.append(landscape_mse(ref, red))
+                table[(name, p)] = float(np.mean(mses))
+        return table
+
+    table = run_once(benchmark, experiment)
+
+    header(
+        "Figure 14: ideal MSE per dataset and QAOA depth",
+        parameter_sets=NUM_SETS, graphs_per_dataset=COUNT,
+    )
+    for name in DATASETS:
+        row(name, **{f"p{p}": table[(name, p)] for p in P_VALUES})
+
+    # Sparse datasets achieve low MSE; dense small IMDb is the worst case.
+    for p in P_VALUES:
+        assert table[("aids", p)] < 0.06
+        assert table[("linux", p)] < 0.06
+    imdb_avg = np.mean([table[("imdb", p)] for p in P_VALUES])
+    sparse_avg = np.mean(
+        [table[(name, p)] for name in ("aids", "linux") for p in P_VALUES]
+    )
+    assert imdb_avg >= sparse_avg - 0.01

@@ -1,0 +1,90 @@
+"""Figure 17: end-to-end Red-QAOA vs baseline on large graphs.
+
+Paper protocol: 100 random 30-node graphs, COBYLA with 20/50/150 restarts
+for p = 1/2/3; Red-QAOA achieves >= 99% of the baseline's best result and
+>= 97% of its average, despite ~31% node and ~44% edge reduction.
+
+Substitution: the paper runs p <= 3 at 30 nodes on A100 nodes; exactly
+simulating p=3 at 30 nodes needs either GPUs or sparse lightcones.  We run
+p=1 at 30 nodes (analytic engine, exact) and p=2 at 14 nodes (statevector),
+with fewer graphs/restarts; the claim tested is the ratio, which is
+size-stable (cf. the artifact appendix's own suggestion to use smaller
+``--num_nodes`` for reduced overhead).
+"""
+
+import numpy as np
+
+from _common import connected_er, header, row, run_once
+from repro.core.pipeline import RedQAOA
+from repro.core.reduction import GraphReducer
+from repro.qaoa.expectation import maxcut_expectation
+from repro.qaoa.optimizer import multi_restart_optimize
+from repro.utils.graphs import relabel_to_range
+
+CASES = (
+    # (p, num_nodes, edge_probability, num_graphs, restarts, maxiter)
+    (1, 30, 0.12, 6, 6, 40),
+    (2, 14, 0.30, 4, 6, 50),
+)
+
+
+def _run_case(p, num_nodes, edge_probability, num_graphs, restarts, maxiter):
+    best_ratios, avg_ratios = [], []
+    node_reds, edge_reds = [], []
+    for seed in range(num_graphs):
+        graph = connected_er(num_nodes, edge_probability, seed=seed)
+        relabeled = relabel_to_range(graph)
+        fn = lambda g, b: maxcut_expectation(relabeled, g, b)
+
+        baseline = multi_restart_optimize(fn, p, restarts=restarts, maxiter=maxiter, seed=seed)
+        base_values = [t.best_value for t in baseline]
+
+        reducer = GraphReducer(seed=seed)
+        red = RedQAOA(
+            p=p, reducer=reducer, restarts=restarts, maxiter=maxiter,
+            finetune_maxiter=10, seed=seed,
+        )
+        reduction = red.reduce(graph)
+        node_reds.append(reduction.node_reduction)
+        edge_reds.append(reduction.edge_reduction)
+        traces = red.optimize_reduced(reduction)
+        red_values = []
+        for trace in traces:
+            gammas, betas = trace.best_parameters
+            red_values.append(maxcut_expectation(relabeled, gammas, betas))
+
+        best_ratios.append(max(red_values) / max(base_values))
+        avg_ratios.append(np.mean(red_values) / np.mean(base_values))
+    return {
+        "best": float(np.mean(best_ratios)),
+        "avg": float(np.mean(avg_ratios)),
+        "node_reduction": float(np.mean(node_reds)),
+        "edge_reduction": float(np.mean(edge_reds)),
+    }
+
+
+def test_fig17_end_to_end_ratio(benchmark):
+    def experiment():
+        return {
+            (p, n): _run_case(p, n, ep, g, r, m)
+            for p, n, ep, g, r, m in CASES
+        }
+
+    results = run_once(benchmark, experiment)
+
+    header(
+        "Figure 17: Red-QAOA / baseline ratio (best restart and average)",
+        cases=[f"p={p}, n={n}" for p, n, *_ in CASES],
+        paper="best ~1.00, average >= 0.97",
+    )
+    for (p, n), r in results.items():
+        row(
+            f"p={p}, {n}-node graphs",
+            best_ratio=r["best"], avg_ratio=r["avg"],
+            node_reduction=r["node_reduction"], edge_reduction=r["edge_reduction"],
+        )
+
+    for r in results.values():
+        # Near-parity on the best restart, high ratio on the average.
+        assert r["best"] >= 0.95
+        assert r["avg"] >= 0.90

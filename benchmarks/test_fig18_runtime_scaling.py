@@ -1,0 +1,46 @@
+"""Figure 18: Red-QAOA preprocessing scales as n log n and is negligible.
+
+Paper: reducer preprocessing on 10-1000-node graphs fits an n log n curve;
+a 10-node graph costs ~0.004 s against ~4.2 s for one circuit execution on
+ibm_sherbrooke (~0.1% overhead).  We time the reducer across sizes, fit
+``a * n log n + b``, and compare against the modeled per-circuit time.
+"""
+
+from _common import header, row, run_once
+from repro.analysis.runtime import (
+    fit_nlogn,
+    measure_preprocessing_times,
+    per_circuit_execution_time,
+)
+
+SIZES = (10, 25, 50, 100, 200, 400, 700, 1000)
+
+
+def test_fig18_preprocessing_runtime(benchmark):
+    def experiment():
+        return measure_preprocessing_times(SIZES, seed=0, repeats=1)
+
+    measurements = run_once(benchmark, experiment)
+    model = fit_nlogn(measurements)
+
+    header(
+        "Figure 18: preprocessing runtime vs n log n fit",
+        sizes=SIZES,
+    )
+    for n, seconds in measurements:
+        row(f"n={n}", measured_s=seconds, fitted_s=model.predict(n))
+    row("fit", a=model.a, b=model.b, r_squared=model.r_squared)
+
+    circuit_time = per_circuit_execution_time(10, p=1, shots=8192)
+    overhead_10 = dict(measurements)[10] / circuit_time
+    row("10-node overhead", preprocessing_s=dict(measurements)[10],
+        circuit_s=circuit_time, fraction=overhead_10)
+
+    # The n log n model explains the scaling well.
+    assert model.r_squared > 0.9
+    # Preprocessing stays a small fraction of one circuit execution.
+    assert overhead_10 < 0.25
+    # Super-quadratic growth would break the fit badly; check the largest
+    # measurement is within 3x of the model's prediction.
+    largest_n, largest_t = measurements[-1]
+    assert largest_t < 3 * model.predict(largest_n) + 0.5

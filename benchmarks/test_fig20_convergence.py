@@ -1,0 +1,85 @@
+"""Figure 20: convergence of noisy optimization, baseline vs Red-QAOA.
+
+Paper protocol: a 10-node random graph, COBYLA with five random restarts
+under noise, on (a) the original graph and (b) the Red-QAOA reduced graph;
+parameters recorded each iteration are re-evaluated on an ideal simulator.
+Red-QAOA converges faster and to better energies.
+"""
+
+import numpy as np
+
+from _common import connected_er, header, row, run_once
+from repro.core.reduction import GraphReducer
+from repro.qaoa.expectation import maxcut_expectation, noisy_maxcut_expectation
+from repro.qaoa.fast_sim import FastNoiseSpec
+from repro.qaoa.optimizer import multi_restart_optimize
+from repro.quantum.backends import get_backend
+from repro.utils.graphs import relabel_to_range
+
+RESTARTS = 5
+MAXITER = 40
+TRAJECTORIES = 3
+SHOTS = 1024
+
+
+def _grid_best(graph):
+    """Coarse ideal grid optimum used to normalize curves per graph."""
+    best = None
+    for gamma in np.linspace(0.1, 2 * np.pi, 14, endpoint=False):
+        for beta in np.linspace(0.05, np.pi, 14, endpoint=False):
+            value = maxcut_expectation(graph, [gamma], [beta])
+            if best is None or value > best[0]:
+                best = (value, gamma, beta)
+    return [best[1]], [best[2]]
+
+
+def test_fig20_noisy_convergence(benchmark):
+    backend = get_backend("toronto")
+
+    def experiment():
+        curves = {"baseline": [], "red-qaoa": []}
+        for graph_seed in (20, 21, 22):
+            graph = connected_er(10, 0.4, seed=graph_seed)
+            relabeled = relabel_to_range(graph)
+            reduction = GraphReducer(seed=graph_seed).reduce(graph)
+            reduced = reduction.reduced_graph
+            optimum = maxcut_expectation(
+                relabeled,
+                *_grid_best(relabeled),
+            )
+            ideal_eval = lambda g, b: maxcut_expectation(relabeled, g, b) / optimum
+            for label, target in (("baseline", relabeled), ("red-qaoa", reduced)):
+                rng = np.random.default_rng(0)
+                noise = FastNoiseSpec.for_graph(backend, target)
+                fn = lambda g, b: noisy_maxcut_expectation(
+                    target, g, b, noise, trajectories=TRAJECTORIES, shots=SHOTS, seed=rng
+                )
+                traces = multi_restart_optimize(
+                    fn, p=1, restarts=RESTARTS, maxiter=MAXITER, seed=1
+                )
+                # Re-evaluate each iterate on the ideal simulator of the
+                # ORIGINAL graph (the paper's protocol for comparability),
+                # normalized per graph so curves aggregate across instances.
+                curves[label].extend(trace.reevaluate(ideal_eval) for trace in traces)
+        return curves
+
+    curves = run_once(benchmark, experiment)
+
+    def running_best(values):
+        return np.maximum.accumulate(values)
+
+    header(
+        "Figure 20: noisy-optimization convergence (ideal re-evaluation)",
+        restarts=RESTARTS, maxiter=MAXITER, shots=SHOTS,
+    )
+    summary = {}
+    for label, runs in curves.items():
+        finals = [running_best(r)[-1] for r in runs]
+        halfway = [running_best(r)[min(10, len(r) - 1)] for r in runs]
+        summary[label] = (float(np.mean(halfway)), float(np.mean(finals)))
+        row(label, mean_at_iter10=summary[label][0], mean_final=summary[label][1])
+
+    # Red-QAOA converges at least as fast (iteration 10) and as high
+    # (final), within a small tolerance on the normalized [0, 1] scale.
+    assert summary["red-qaoa"][0] >= summary["baseline"][0] - 0.03
+    assert summary["red-qaoa"][1] >= summary["baseline"][1] - 0.03

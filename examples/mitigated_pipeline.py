@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Error-mitigated solution finding, as in the paper's Fig. 4.
+
+Red-QAOA runs the original (large, noisy) circuit only for the final
+optimal parameters, so error mitigation is cheap to apply at that step.
+This example runs the full pipeline under a device noise model, then
+compares the final expectation computed four ways: ideal, raw noisy, with
+readout mitigation, and with zero-noise extrapolation on top.
+
+Usage::
+
+    python examples/mitigated_pipeline.py [--nodes 10] [--device toronto]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core.pipeline import RedQAOA
+from repro.datasets import random_connected_gnp
+from repro.mitigation import ReadoutMitigator, zne_maxcut_expectation
+from repro.qaoa.expectation import maxcut_expectation, noisy_maxcut_expectation
+from repro.qaoa.fast_sim import FastNoiseSpec, noisy_qaoa_probabilities
+from repro.qaoa.hamiltonian import MaxCutHamiltonian
+from repro.quantum import get_backend, list_backends
+from repro.utils.graphs import relabel_to_range
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=10)
+    parser.add_argument("--device", choices=list_backends(), default="kolkata")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    backend = get_backend(args.device)
+    graph = relabel_to_range(random_connected_gnp(args.nodes, 0.4, seed=args.seed))
+    noise = FastNoiseSpec.for_graph(backend, graph)
+
+    # Optimize on the distilled graph under its (smaller) noise.
+    red = RedQAOA(seed=args.seed, restarts=3, maxiter=40, finetune_maxiter=0)
+    result = red.run(graph)
+    gammas, betas = list(result.gammas), list(result.betas)
+    print(f"Graph: {args.nodes} nodes; device: {backend.name}; "
+          f"distilled to {result.reduction.reduced_graph.number_of_nodes()} nodes")
+    print(f"Final parameters: gamma={np.round(gammas, 3)}, beta={np.round(betas, 3)}")
+
+    ideal = maxcut_expectation(graph, gammas, betas)
+    raw = noisy_maxcut_expectation(
+        graph, gammas, betas, noise, trajectories=60, seed=args.seed
+    )
+
+    ham = MaxCutHamiltonian(graph)
+    observed = noisy_qaoa_probabilities(
+        ham, gammas, betas, noise, trajectories=60, seed=args.seed
+    )
+    mitigator = ReadoutMitigator.symmetric(noise.readout_error, ham.num_qubits)
+    readout_corrected = mitigator.expectation_diagonal(observed, ham.diagonal)
+
+    zne_value, per_scale = zne_maxcut_expectation(
+        graph, gammas, betas, noise, scales=(1.0, 1.5, 2.0),
+        trajectories=60, seed=args.seed,
+    )
+
+    print(f"\n{'method':<24} {'expectation':>12} {'error':>9}")
+    for label, value in (
+        ("ideal", ideal),
+        ("noisy (raw)", raw),
+        ("readout-mitigated", readout_corrected),
+        ("zero-noise extrapolated", zne_value),
+    ):
+        print(f"{label:<24} {value:>12.4f} {abs(value - ideal):>9.4f}")
+    print(f"\nZNE per-scale values: {[round(v, 3) for v in per_scale]}")
+
+
+if __name__ == "__main__":
+    main()

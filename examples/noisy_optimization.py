@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Noisy optimization: Red-QAOA vs baseline under a device noise model.
+
+The scenario the paper's introduction motivates: on NISQ hardware, every
+optimizer iteration runs a noisy circuit, and large circuits mislead the
+search.  This example optimizes the same graph two ways under a fake
+device's noise -- directly (baseline) and through the distilled graph
+(Red-QAOA) -- then re-evaluates both parameter choices on an ideal
+simulator, reproducing the Fig. 20 protocol.
+
+Usage::
+
+    python examples/noisy_optimization.py [--nodes 10] [--device toronto]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core.reduction import GraphReducer
+from repro.datasets import random_connected_gnp
+from repro.qaoa.expectation import maxcut_expectation, noisy_maxcut_expectation
+from repro.qaoa.fast_sim import FastNoiseSpec
+from repro.qaoa.maxcut import brute_force_maxcut
+from repro.qaoa.optimizer import multi_restart_optimize
+from repro.quantum import get_backend, list_backends
+from repro.utils.graphs import relabel_to_range
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=10)
+    parser.add_argument("--device", choices=list_backends(), default="toronto")
+    parser.add_argument("--restarts", type=int, default=5)
+    parser.add_argument("--maxiter", type=int, default=40)
+    parser.add_argument("--shots", type=int, default=2048)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    backend = get_backend(args.device)
+    graph = random_connected_gnp(args.nodes, 0.4, seed=args.seed)
+    relabeled = relabel_to_range(graph)
+    optimum, _ = brute_force_maxcut(relabeled)
+    print(f"Graph: {args.nodes} nodes, {graph.number_of_edges()} edges; "
+          f"device model: {backend.name} ({backend.description})")
+
+    reduction = GraphReducer(seed=args.seed).reduce(graph)
+    reduced = reduction.reduced_graph
+    print(f"Distilled graph: {reduced.number_of_nodes()} nodes "
+          f"({reduction.node_reduction:.0%} reduction)")
+
+    ideal_eval = lambda g, b: maxcut_expectation(relabeled, g, b)
+    results = {}
+    for label, target in (("baseline", relabeled), ("red-qaoa", reduced)):
+        rng = np.random.default_rng(args.seed)
+        noise = FastNoiseSpec.for_graph(backend, target)
+        noisy_fn = lambda g, b: noisy_maxcut_expectation(
+            target, g, b, noise, trajectories=4, shots=args.shots, seed=rng
+        )
+        traces = multi_restart_optimize(
+            noisy_fn, p=1, restarts=args.restarts, maxiter=args.maxiter, seed=args.seed
+        )
+        # Re-evaluate every visited point ideally, on the ORIGINAL graph.
+        finals = []
+        for trace in traces:
+            ideal_curve = trace.reevaluate(ideal_eval)
+            finals.append(float(np.max(ideal_curve)))
+        results[label] = finals
+        print(f"{label:>9}: per-restart best (ideal re-eval) = "
+              f"{[round(v, 2) for v in finals]}  "
+              f"mean ratio {np.mean(finals) / optimum:.2%}")
+
+    gain = np.mean(results["red-qaoa"]) - np.mean(results["baseline"])
+    print(f"\nRed-QAOA mean advantage: {gain:+.3f} "
+          f"({gain / optimum:+.1%} of the optimum {optimum:.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Parameter transfer vs Red-QAOA on irregular graphs (Fig. 21 protocol).
+
+Prior work transfers optimal QAOA parameters between random regular graphs
+of matching degree parity.  Real-world graphs are rarely regular, and this
+script shows where that breaks: starting from a random regular graph, it
+perturbs an increasing fraction of edges and compares the landscape MSE of
+(a) a regular donor graph and (b) the Red-QAOA distilled graph.
+
+Usage::
+
+    python examples/parameter_transfer_study.py [--nodes 24] [--degree 3]
+"""
+
+import argparse
+
+from repro.core.reduction import GraphReducer
+from repro.transfer import perturb_graph, random_regular_donor, transfer_landscape_mse
+
+import networkx as nx
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=24)
+    parser.add_argument("--degree", type=int, default=3)
+    parser.add_argument("--width", type=int, default=16, help="landscape grid width")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    base = nx.random_regular_graph(args.degree, args.nodes, seed=args.seed)
+    print(f"Base graph: {args.degree}-regular, {args.nodes} nodes")
+    print(f"{'perturbed':>10} {'transfer MSE':>13} {'red-qaoa MSE':>13}")
+
+    for fraction in (0.0, 0.05, 0.1, 0.2, 0.3):
+        graph = perturb_graph(base, fraction, seed=args.seed)
+        reduction = GraphReducer(seed=args.seed).reduce(graph)
+        donor = random_regular_donor(
+            args.degree, reduction.reduced_graph.number_of_nodes(), seed=args.seed
+        )
+        transfer_mse = transfer_landscape_mse(graph, donor, width=args.width)
+        red_mse = transfer_landscape_mse(graph, reduction.reduced_graph, width=args.width)
+        print(f"{fraction:>10.0%} {transfer_mse:>13.4f} {red_mse:>13.4f}")
+
+    print("\nAs irregularity grows, regular-donor transfer degrades while "
+          "Red-QAOA tracks the actual graph (paper Sec. 6.6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Red-QAOA: efficient variational optimization through circuit reduction.
+
+A full reproduction of the ASPLOS 2024 paper by Wang, Fang, Li, and Nair.
+The headline API:
+
+>>> import networkx as nx
+>>> from repro import RedQAOA
+>>> graph = nx.erdos_renyi_graph(12, 0.4, seed=7)
+>>> red = RedQAOA(seed=7)
+>>> result = red.reduce(graph)
+>>> result.reduced_graph.number_of_nodes() < graph.number_of_nodes()
+True
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: simulated-annealing graph reduction and the
+    end-to-end Red-QAOA optimization pipeline.
+``repro.quantum``
+    The simulation substrate: circuits, statevector / density-matrix /
+    trajectory simulators, noise models, fake device backends, transpiler.
+``repro.qaoa``
+    MaxCut QAOA: Hamiltonians, fast simulation engines, energy landscapes,
+    classical optimizers.
+``repro.pooling``
+    GNN graph-pooling baselines (Top-K, SAG, ASA).
+``repro.datasets``
+    Synthetic AIDS/LINUX/IMDb-like datasets and random-graph generators.
+``repro.transfer``
+    The parameter-transfer baseline from the prior-work comparison.
+``repro.analysis``
+    Metrics, runtime, and throughput models used by the evaluation.
+"""
+
+from repro.core import GraphReducer, RedQAOA, ReductionResult, simulated_annealing
+from repro.qaoa import (
+    approximation_ratio,
+    brute_force_maxcut,
+    compute_landscape,
+    landscape_mse,
+    maxcut_expectation,
+    noisy_maxcut_expectation,
+)
+from repro.quantum import FakeBackend, NoiseModel, QuantumCircuit, get_backend
+
+__all__ = [
+    "FakeBackend",
+    "GraphReducer",
+    "NoiseModel",
+    "QuantumCircuit",
+    "RedQAOA",
+    "ReductionResult",
+    "approximation_ratio",
+    "brute_force_maxcut",
+    "compute_landscape",
+    "get_backend",
+    "landscape_mse",
+    "maxcut_expectation",
+    "noisy_maxcut_expectation",
+    "simulated_annealing",
+    "__version__",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,41 @@
+"""Evaluation machinery: metrics, runtime model, throughput model."""
+
+from repro.analysis.metrics import (
+    mean_squared_error,
+    paired_summary,
+    relative_improvement,
+)
+from repro.analysis.significance import (
+    BootstrapInterval,
+    bootstrap_mean_ci,
+    paired_bootstrap_test,
+)
+from repro.analysis.runtime import (
+    RuntimeModel,
+    fit_nlogn,
+    measure_preprocessing_times,
+    per_circuit_execution_time,
+)
+from repro.analysis.throughput import (
+    ThroughputReport,
+    circuit_execution_time,
+    device_capacity,
+    relative_throughput,
+)
+
+__all__ = [
+    "BootstrapInterval",
+    "RuntimeModel",
+    "bootstrap_mean_ci",
+    "paired_bootstrap_test",
+    "ThroughputReport",
+    "circuit_execution_time",
+    "device_capacity",
+    "fit_nlogn",
+    "mean_squared_error",
+    "measure_preprocessing_times",
+    "paired_summary",
+    "per_circuit_execution_time",
+    "relative_improvement",
+    "relative_throughput",
+]

@@ -1,0 +1,54 @@
+"""Generic evaluation metrics shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["mean_squared_error", "paired_summary", "relative_improvement"]
+
+
+def mean_squared_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Plain MSE between two equal-shape arrays (no normalization)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.mean((a - b) ** 2))
+
+
+def relative_improvement(candidate: float, baseline: float) -> float:
+    """``(candidate - baseline) / |baseline|`` -- Fig. 19's y-axis."""
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return (candidate - baseline) / abs(baseline)
+
+
+@dataclass(frozen=True)
+class PairedSummary:
+    """Distribution summary of paired comparisons (box-plot statistics)."""
+
+    mean: float
+    median: float
+    q1: float
+    q3: float
+    minimum: float
+    maximum: float
+    fraction_positive: float
+
+
+def paired_summary(values) -> PairedSummary:
+    """Box-plot summary of a sample of relative improvements."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    return PairedSummary(
+        mean=float(values.mean()),
+        median=float(np.median(values)),
+        q1=float(np.percentile(values, 25)),
+        q3=float(np.percentile(values, 75)),
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        fraction_positive=float((values > 0).mean()),
+    )

@@ -1,0 +1,186 @@
+"""Command-line interface mirroring the paper artifact's experiment scripts.
+
+The artifact appendix (paper Sec. A) ships three entry points; this module
+reproduces them as subcommands of ``red-qaoa`` (or ``python -m repro.cli``):
+
+- ``mse-noisy``  -- Sec. 6.1 / ``mse_noisy.py``: noisy-landscape MSE of the
+  baseline and Red-QAOA against the ideal baseline, for an n-node graph;
+- ``mse-ideal``  -- Secs. 6.2-6.3 / ``mse_ideal.py``: reduction ratios and
+  ideal MSE over a benchmark dataset;
+- ``end-to-end`` -- Sec. 6.4.1 / ``end_to_end.py``: Red-QAOA vs baseline
+  optimization quality across restarts.
+
+Each subcommand prints the numbers that map onto the corresponding figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="red-qaoa",
+        description="Red-QAOA reproduction experiments (ASPLOS 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    noisy = sub.add_parser("mse-noisy", help="Sec. 6.1: noisy landscape MSE")
+    noisy.add_argument("-n", "--nodes", type=int, default=10,
+                       help="number of nodes (paper uses 7-14)")
+    noisy.add_argument("--width", type=int, default=12,
+                       help="landscape grid width (paper default 32)")
+    noisy.add_argument("--shots", type=int, default=2048,
+                       help="shots per landscape point (paper default 8192)")
+    noisy.add_argument("--device", default="toronto", help="fake backend name")
+    noisy.add_argument("--trajectories", type=int, default=4)
+    noisy.add_argument("--seed", type=int, default=0)
+
+    ideal = sub.add_parser("mse-ideal", help="Secs. 6.2-6.3: ideal MSE per dataset")
+    ideal.add_argument("--graph-set", default="aids",
+                       choices=("aids", "linux", "imdb", "random"))
+    ideal.add_argument("--num-graphs", type=int, default=10)
+    ideal.add_argument("--p", type=int, default=1, help="QAOA layers")
+    ideal.add_argument("--num-points", type=int, default=512,
+                       help="random parameter sets (paper default 1024)")
+    ideal.add_argument("--min-nodes", type=int, default=0)
+    ideal.add_argument("--max-nodes", type=int, default=10)
+    ideal.add_argument("--seed", type=int, default=0)
+
+    e2e = sub.add_parser("end-to-end", help="Sec. 6.4.1: optimization quality")
+    e2e.add_argument("--p", type=int, default=1, help="QAOA layers")
+    e2e.add_argument("--num-graphs", type=int, default=5,
+                     help="test graphs (paper default 100)")
+    e2e.add_argument("--num-nodes", type=int, default=10,
+                     help="graph size (paper default 30; 10 suggested for CPUs)")
+    e2e.add_argument("--restarts", type=int, default=5)
+    e2e.add_argument("--maxiter", type=int, default=40)
+    e2e.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_mse_noisy(args: argparse.Namespace) -> int:
+    from repro.core.reduction import GraphReducer
+    from repro.datasets import random_connected_gnp
+    from repro.qaoa.fast_sim import FastNoiseSpec
+    from repro.qaoa.landscape import (
+        compute_landscape,
+        compute_noisy_landscape,
+        landscape_mse,
+    )
+    from repro.quantum import get_backend
+
+    backend = get_backend(args.device)
+    graph = random_connected_gnp(args.nodes, 0.4, seed=args.seed)
+    reduction = GraphReducer(seed=args.seed).reduce(graph)
+    reduced = reduction.reduced_graph
+    print(f"graph: {args.nodes} nodes, {graph.number_of_edges()} edges; "
+          f"reduced: {reduced.number_of_nodes()} nodes "
+          f"({reduction.node_reduction:.0%} node reduction); device: {backend.name}")
+
+    ideal = compute_landscape(graph, width=args.width).values
+    noisy_base = compute_noisy_landscape(
+        graph, FastNoiseSpec.for_graph(backend, graph),
+        width=args.width, trajectories=args.trajectories,
+        shots=args.shots, seed=args.seed,
+    ).values
+    noisy_red = compute_noisy_landscape(
+        reduced, FastNoiseSpec.for_graph(backend, reduced),
+        width=args.width, trajectories=args.trajectories,
+        shots=args.shots, seed=args.seed,
+    ).values
+    mse_base = landscape_mse(ideal, noisy_base)
+    mse_red = landscape_mse(ideal, noisy_red)
+    print(f"MSE noisy baseline vs ideal baseline: {mse_base:.4f}")
+    print(f"MSE noisy Red-QAOA vs ideal baseline: {mse_red:.4f}")
+    print(f"relative improvement: {(mse_base - mse_red) / mse_base:+.1%}")
+    return 0
+
+
+def _cmd_mse_ideal(args: argparse.Namespace) -> int:
+    from repro.core.reduction import GraphReducer
+    from repro.datasets import load_dataset
+    from repro.qaoa.landscape import (
+        evaluate_parameter_sets,
+        landscape_mse,
+        sample_parameter_sets,
+    )
+
+    graphs = load_dataset(
+        args.graph_set, count=args.num_graphs,
+        min_nodes=max(args.min_nodes, 3), max_nodes=args.max_nodes, seed=args.seed,
+    )
+    reducer = GraphReducer(seed=args.seed)
+    gammas, betas = sample_parameter_sets(args.p, args.num_points, seed=args.seed)
+    node_reds, edge_reds, mses = [], [], []
+    for graph in graphs:
+        reduction = reducer.reduce(graph)
+        reference = evaluate_parameter_sets(graph, gammas, betas)
+        candidate = evaluate_parameter_sets(reduction.reduced_graph, gammas, betas)
+        node_reds.append(reduction.node_reduction)
+        edge_reds.append(reduction.edge_reduction)
+        mses.append(landscape_mse(reference, candidate))
+    print(f"dataset {args.graph_set}: {len(graphs)} graphs, p={args.p}, "
+          f"{args.num_points} parameter sets")
+    print(f"node reduction: {np.mean(node_reds):.1%}")
+    print(f"edge reduction: {np.mean(edge_reds):.1%}")
+    print(f"mean MSE:       {np.mean(mses):.4f}")
+    return 0
+
+
+def _cmd_end_to_end(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import RedQAOA
+    from repro.datasets import random_connected_gnp
+    from repro.qaoa.expectation import maxcut_expectation
+    from repro.qaoa.optimizer import multi_restart_optimize
+    from repro.utils.graphs import relabel_to_range
+
+    best_ratios, avg_ratios = [], []
+    for index in range(args.num_graphs):
+        graph = random_connected_gnp(args.num_nodes, 0.4, seed=args.seed + index)
+        relabeled = relabel_to_range(graph)
+        fn = lambda g, b: maxcut_expectation(relabeled, g, b)
+        baseline = multi_restart_optimize(
+            fn, args.p, restarts=args.restarts, maxiter=args.maxiter,
+            seed=args.seed + index,
+        )
+        base_values = [t.best_value for t in baseline]
+
+        red = RedQAOA(p=args.p, restarts=args.restarts, maxiter=args.maxiter,
+                      finetune_maxiter=10, seed=args.seed + index)
+        reduction = red.reduce(graph)
+        red_values = []
+        for trace in red.optimize_reduced(reduction):
+            g, b = trace.best_parameters
+            red_values.append(maxcut_expectation(relabeled, g, b))
+        best_ratios.append(max(red_values) / max(base_values))
+        avg_ratios.append(np.mean(red_values) / np.mean(base_values))
+    print(f"end-to-end over {args.num_graphs} graphs of {args.num_nodes} nodes, "
+          f"p={args.p}, {args.restarts} restarts")
+    print(f"Red-QAOA / baseline, best result:    {np.mean(best_ratios):.3f}")
+    print(f"Red-QAOA / baseline, average result: {np.mean(avg_ratios):.3f}")
+    print("(paper: ~1.00 best, >= 0.97 average)")
+    return 0
+
+
+_COMMANDS = {
+    "mse-noisy": _cmd_mse_noisy,
+    "mse-ideal": _cmd_mse_ideal,
+    "end-to-end": _cmd_end_to_end,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

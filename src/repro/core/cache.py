@@ -1,0 +1,122 @@
+"""Cross-instance reduction reuse (the paper's Sec. 6.1 opportunity).
+
+The paper observes that the ideal landscapes of its 10-node and 11-node
+test graphs nearly coincide -- so the distilled graph found for one could
+have served the other, but Red-QAOA's per-instance subgraph search rejected
+it.  :class:`ReductionCache` implements exactly that reuse: distilled
+graphs are banked by their Average Node Degree, and a new instance first
+checks the bank for a distilled graph whose AND clears the acceptance
+ratio.  On a stream of similar instances (the common case in applications:
+many MaxCut problems from one domain) this skips the annealing search
+entirely for most graphs.
+
+A cache *hit* returns a graph that is NOT a subgraph of the new instance --
+that is fine for the parameter-optimization phase (only the landscape must
+match, Sec. 3.2) and exactly mirrors how the paper argues cross-instance
+transfer; solution finding still runs on the original graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.core.reduction import GraphReducer, ReductionResult
+from repro.utils.graphs import average_node_degree, ensure_graph
+
+__all__ = ["CachedReduction", "ReductionCache"]
+
+
+@dataclass(frozen=True)
+class CachedReduction:
+    """One banked distilled graph."""
+
+    graph: nx.Graph
+    and_value: float
+    source_nodes: int
+
+
+@dataclass
+class ReductionCache:
+    """AND-indexed bank of distilled graphs with a reducer fallback.
+
+    Parameters
+    ----------
+    reducer:
+        Used on cache misses; its ``and_ratio_threshold`` also defines what
+        counts as a hit (the banked graph's AND over the query graph's AND,
+        symmetrized, must clear the threshold).
+    max_entries:
+        Bank capacity; oldest entries are evicted first.
+    """
+
+    reducer: GraphReducer = field(default_factory=GraphReducer)
+    max_entries: int = 64
+    _entries: list[CachedReduction] = field(default_factory=list)
+    hits: int = 0
+    misses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {self.max_entries}")
+
+    def lookup(self, graph: nx.Graph) -> CachedReduction | None:
+        """Best banked distilled graph acceptable for ``graph``, or None.
+
+        Acceptable means the AND ratio clears the reducer's threshold and
+        the banked graph is strictly smaller than ``graph``.  Among
+        acceptable entries the one with the closest AND wins.
+        """
+        ensure_graph(graph)
+        target = average_node_degree(graph)
+        if target == 0.0:
+            return None
+        best: CachedReduction | None = None
+        best_gap = np.inf
+        for entry in self._entries:
+            if entry.graph.number_of_nodes() >= graph.number_of_nodes():
+                continue
+            ratio = entry.and_value / target
+            ratio = ratio if ratio <= 1.0 else 1.0 / ratio
+            if ratio < self.reducer.and_ratio_threshold:
+                continue
+            gap = abs(entry.and_value - target)
+            if gap < best_gap:
+                best, best_gap = entry, gap
+        return best
+
+    def reduce(self, graph: nx.Graph) -> tuple[nx.Graph, bool]:
+        """Distilled graph for ``graph`` plus whether it came from the bank.
+
+        Misses run the full :class:`GraphReducer` and bank the result.
+        """
+        ensure_graph(graph)
+        cached = self.lookup(graph)
+        if cached is not None:
+            self.hits += 1
+            return nx.Graph(cached.graph), True
+        self.misses += 1
+        result = self.reducer.reduce(graph)
+        self._bank(result)
+        return result.reduced_graph, False
+
+    @property
+    def size(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _bank(self, result: ReductionResult) -> None:
+        entry = CachedReduction(
+            graph=nx.Graph(result.reduced_graph),
+            and_value=average_node_degree(result.reduced_graph),
+            source_nodes=result.original_graph.number_of_nodes(),
+        )
+        self._entries.append(entry)
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(0)

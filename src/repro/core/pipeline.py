@@ -1,0 +1,252 @@
+"""The end-to-end Red-QAOA pipeline (paper Fig. 4).
+
+:class:`RedQAOA` glues the pieces together:
+
+1. **reduce** -- distill the input graph with the SA reducer;
+2. **optimize** -- run the parameter search (COBYLA restarts or grid
+   search) on the *distilled* graph, under whatever noise the caller
+   specifies (a small circuit, so cheap and noise-tolerant);
+3. **transfer** -- reuse the best parameters on the original graph;
+4. **fine-tune** -- optionally continue optimization on the original graph
+   from the transferred parameters (few iterations, as the start is already
+   near-optimal);
+5. **solve** -- sample the original graph's QAOA state at the final
+   parameters to read out a cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.core.reduction import GraphReducer, ReductionResult
+from repro.qaoa.expectation import maxcut_expectation, noisy_maxcut_expectation
+from repro.qaoa.fast_sim import FastNoiseSpec, noisy_qaoa_probabilities, qaoa_probabilities
+from repro.qaoa.hamiltonian import MaxCutHamiltonian
+from repro.qaoa.optimizer import OptimizationTrace, cobyla_optimize, multi_restart_optimize
+from repro.utils.graphs import ensure_graph, relabel_to_range
+from repro.utils.rng import as_generator
+
+__all__ = ["RedQAOA", "RedQAOAResult"]
+
+
+@dataclass
+class RedQAOAResult:
+    """Everything produced by one :meth:`RedQAOA.run`.
+
+    ``expectation`` is the ideal expectation of the final parameters on the
+    original graph; ``cut_value``/``assignment`` come from sampling the
+    final state (solution-finding step).
+    """
+
+    reduction: ReductionResult
+    gammas: np.ndarray
+    betas: np.ndarray
+    expectation: float
+    cut_value: float
+    assignment: dict
+    reduced_traces: list[OptimizationTrace] = field(default_factory=list)
+    finetune_trace: OptimizationTrace | None = None
+
+    @property
+    def num_reduced_evaluations(self) -> int:
+        """Circuit evaluations spent on the small (cheap) graph."""
+        return sum(t.num_evaluations for t in self.reduced_traces)
+
+    @property
+    def num_original_evaluations(self) -> int:
+        """Circuit evaluations spent on the large (expensive) graph."""
+        return self.finetune_trace.num_evaluations if self.finetune_trace else 0
+
+
+class RedQAOA:
+    """Red-QAOA driver: reduce, optimize small, transfer, fine-tune.
+
+    Parameters
+    ----------
+    p:
+        QAOA depth used throughout.
+    reducer:
+        A configured :class:`~repro.core.reduction.GraphReducer`; a default
+        one (0.7 AND threshold, adaptive cooling) is built when omitted.
+    noise:
+        :class:`~repro.qaoa.fast_sim.FastNoiseSpec` applied during
+        optimization, or ``None`` for ideal execution.  The *same* noise is
+        applied to both the reduced and (scaled by size) the original
+        circuit, mirroring execution on one device.
+    restarts / maxiter:
+        COBYLA restarts and per-run iteration budget on the reduced graph.
+    finetune_maxiter:
+        Iteration budget for the final optimization on the original graph
+        (0 disables fine-tuning, i.e. pure parameter transfer).
+    warm_start:
+        When true, the first restart on the distilled graph initializes
+        from the degree-indexed :class:`~repro.transfer.ParameterLookup`
+        library instead of a random point (Sec. 7.2's complementary
+        technique); remaining restarts stay random for exploration.
+    """
+
+    def __init__(
+        self,
+        p: int = 1,
+        reducer: GraphReducer | None = None,
+        noise: FastNoiseSpec | None = None,
+        restarts: int = 5,
+        maxiter: int = 60,
+        finetune_maxiter: int = 20,
+        trajectories: int = 8,
+        shots: int | None = None,
+        warm_start: bool = False,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+        if restarts < 1:
+            raise ValueError(f"restarts must be >= 1, got {restarts}")
+        if finetune_maxiter < 0:
+            raise ValueError(f"finetune_maxiter must be >= 0, got {finetune_maxiter}")
+        self.p = p
+        self._rng = as_generator(seed)
+        self.reducer = reducer if reducer is not None else GraphReducer(seed=self._rng)
+        self.noise = noise
+        self.restarts = restarts
+        self.maxiter = maxiter
+        self.finetune_maxiter = finetune_maxiter
+        self.trajectories = trajectories
+        self.shots = shots
+        self.warm_start = warm_start
+        self._lookup = None
+
+    # -- steps ---------------------------------------------------------------
+
+    def reduce(self, graph: nx.Graph) -> ReductionResult:
+        """Step 1: distill the graph."""
+        ensure_graph(graph)
+        return self.reducer.reduce(graph)
+
+    def optimize_reduced(self, reduction: ReductionResult) -> list[OptimizationTrace]:
+        """Step 2: COBYLA restarts on the distilled graph."""
+        objective = self._objective(reduction.reduced_graph)
+        traces: list[OptimizationTrace] = []
+        random_restarts = self.restarts
+        if self.warm_start:
+            initial = self._warm_start_vector(reduction.reduced_graph)
+            traces.append(
+                cobyla_optimize(
+                    objective, self.p, initial=initial,
+                    maxiter=self.maxiter, seed=self._rng,
+                )
+            )
+            random_restarts -= 1
+        if random_restarts > 0:
+            traces.extend(
+                multi_restart_optimize(
+                    objective, self.p, restarts=random_restarts,
+                    maxiter=self.maxiter, seed=self._rng,
+                )
+            )
+        return traces
+
+    def _warm_start_vector(self, graph: nx.Graph) -> np.ndarray:
+        from repro.transfer.lookup import ParameterLookup
+
+        if self._lookup is None:
+            self._lookup = ParameterLookup(seed=self._rng)
+        return self._lookup.warm_start_vector(graph, self.p)
+
+    def finetune(
+        self,
+        graph: nx.Graph,
+        gammas: np.ndarray,
+        betas: np.ndarray,
+    ) -> OptimizationTrace | None:
+        """Step 4: short optimization on the original graph, if enabled."""
+        if self.finetune_maxiter == 0:
+            return None
+        objective = self._objective(relabel_to_range(graph))
+        initial = np.concatenate([gammas, betas])
+        return cobyla_optimize(
+            objective,
+            self.p,
+            initial=initial,
+            maxiter=self.finetune_maxiter,
+            rhobeg=0.1,  # small steps: the transferred start is near-optimal
+            seed=self._rng,
+        )
+
+    def run(self, graph: nx.Graph) -> RedQAOAResult:
+        """The full pipeline of Fig. 4 on ``graph``."""
+        ensure_graph(graph)
+        reduction = self.reduce(graph)
+        traces = self.optimize_reduced(reduction)
+        best_trace = max(traces, key=lambda t: t.best_value)
+        gammas, betas = best_trace.best_parameters
+
+        finetune_trace = self.finetune(graph, gammas, betas)
+        if finetune_trace is not None and finetune_trace.num_evaluations:
+            # Keep the transferred parameters if fine-tuning failed to help
+            # under its (possibly noisy) objective.
+            ft_gammas, ft_betas = finetune_trace.best_parameters
+            relabeled = relabel_to_range(graph)
+            if maxcut_expectation(relabeled, ft_gammas, ft_betas) >= maxcut_expectation(
+                relabeled, gammas, betas
+            ):
+                gammas, betas = ft_gammas, ft_betas
+
+        relabeled = relabel_to_range(graph)
+        expectation = maxcut_expectation(relabeled, gammas, betas)
+        cut_value, assignment = self._solve(graph, gammas, betas)
+        return RedQAOAResult(
+            reduction=reduction,
+            gammas=np.asarray(gammas, dtype=float),
+            betas=np.asarray(betas, dtype=float),
+            expectation=expectation,
+            cut_value=cut_value,
+            assignment=assignment,
+            reduced_traces=traces,
+            finetune_trace=finetune_trace,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _objective(self, graph: nx.Graph):
+        """Energy function (to maximize) on ``graph`` under configured noise."""
+        if self.noise is None:
+            return lambda gammas, betas: maxcut_expectation(graph, gammas, betas)
+        return lambda gammas, betas: noisy_maxcut_expectation(
+            graph,
+            gammas,
+            betas,
+            self.noise,
+            trajectories=self.trajectories,
+            shots=self.shots,
+            seed=self._rng,
+        )
+
+    def _solve(
+        self, graph: nx.Graph, gammas: np.ndarray, betas: np.ndarray
+    ) -> tuple[float, dict]:
+        """Step 5: sample the final state and return the best observed cut."""
+        relabeled = relabel_to_range(graph)
+        hamiltonian = MaxCutHamiltonian(relabeled)
+        if self.noise is None:
+            probs = qaoa_probabilities(hamiltonian, list(gammas), list(betas))
+        else:
+            probs = noisy_qaoa_probabilities(
+                hamiltonian, list(gammas), list(betas), self.noise,
+                trajectories=self.trajectories, seed=self._rng,
+            )
+        shots = self.shots if self.shots is not None else 1024
+        outcomes = self._rng.choice(probs.size, size=shots, p=probs / probs.sum())
+        values = hamiltonian.diagonal[outcomes]
+        best_index = int(outcomes[int(np.argmax(values))])
+        try:
+            ordered = sorted(graph.nodes())
+        except TypeError:
+            ordered = list(graph.nodes())
+        assignment = {
+            node: (best_index >> position) & 1 for position, node in enumerate(ordered)
+        }
+        return float(values.max()), assignment

@@ -1,0 +1,208 @@
+"""Graph reduction: binary search over subgraph sizes with AND checking.
+
+Red-QAOA wraps the annealer in a size search (paper Secs. 4.4, 6.4.2): it
+looks for the *smallest* subgraph whose AND ratio (subgraph AND over
+original AND) still clears the acceptance threshold (0.7 by default, the
+value Sec. 4.3 derives from the 0.02-MSE criterion).  Binary search over
+``k`` gives the ``n log n`` preprocessing cost reported in Fig. 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.core.annealer import AnnealResult, simulated_annealing
+from repro.core.cooling import CoolingSchedule
+from repro.utils.graphs import average_node_degree, ensure_graph, relabel_to_range
+from repro.utils.rng import as_generator
+
+__all__ = ["GraphReducer", "ReductionResult"]
+
+DEFAULT_AND_RATIO_THRESHOLD = 0.7
+
+
+@dataclass
+class ReductionResult:
+    """Output of :meth:`GraphReducer.reduce`.
+
+    ``nodes`` are original-graph labels; ``reduced_graph`` is the induced
+    subgraph relabeled to ``0..k-1`` (ready for the quantum layer), and
+    ``node_mapping`` maps original labels to the new ones.
+    """
+
+    original_graph: nx.Graph
+    nodes: set
+    reduced_graph: nx.Graph
+    node_mapping: dict
+    and_ratio: float
+    anneal_result: AnnealResult
+
+    @property
+    def node_reduction(self) -> float:
+        """Fraction of nodes removed, e.g. 0.28 for the paper's average."""
+        return 1.0 - len(self.nodes) / self.original_graph.number_of_nodes()
+
+    @property
+    def edge_reduction(self) -> float:
+        """Fraction of edges removed."""
+        m = self.original_graph.number_of_edges()
+        if m == 0:
+            return 0.0
+        return 1.0 - self.reduced_graph.number_of_edges() / m
+
+
+class GraphReducer:
+    """Searches for the smallest acceptable distilled graph.
+
+    Parameters
+    ----------
+    and_ratio_threshold:
+        Minimum acceptable ``AND(G') / AND(G)``; 0.7 by default (Sec. 4.3).
+        The ratio is clipped at 1 from above symmetrically, i.e. a subgraph
+        with *larger* AND than the original is scored by ``AND(G)/AND(G')``.
+    min_nodes:
+        Never reduce below this many nodes (QAOA needs at least one edge;
+        default 3 keeps subgraphs non-trivial).
+    min_keep_fraction:
+        Lower bound on the kept-node fraction (default 0.6, i.e. at most
+        40% node reduction).  The AND ratio of tree-like graphs stays above
+        threshold for arbitrarily small subtrees, so the AND check alone
+        would over-reduce sparse graphs; this cap keeps reductions in the
+        regime where the 0.02-MSE relationship of Sec. 4.3 was derived.
+    cooling / anneal_kwargs:
+        Forwarded to :func:`~repro.core.annealer.simulated_annealing`.
+    retries:
+        Annealing restarts per candidate size before declaring the size
+        infeasible.
+    """
+
+    def __init__(
+        self,
+        and_ratio_threshold: float = DEFAULT_AND_RATIO_THRESHOLD,
+        min_nodes: int = 3,
+        min_keep_fraction: float = 0.6,
+        cooling: CoolingSchedule | str = "adaptive",
+        retries: int = 2,
+        initial_temperature: float = 1.0,
+        final_temperature: float = 1e-3,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 < and_ratio_threshold <= 1.0:
+            raise ValueError(
+                f"and_ratio_threshold must be in (0, 1], got {and_ratio_threshold}"
+            )
+        if min_nodes < 2:
+            raise ValueError(f"min_nodes must be >= 2, got {min_nodes}")
+        if not 0.0 < min_keep_fraction <= 1.0:
+            raise ValueError(
+                f"min_keep_fraction must be in (0, 1], got {min_keep_fraction}"
+            )
+        if retries < 1:
+            raise ValueError(f"retries must be >= 1, got {retries}")
+        self.and_ratio_threshold = and_ratio_threshold
+        self.min_nodes = min_nodes
+        self.min_keep_fraction = min_keep_fraction
+        self.cooling = cooling
+        self.retries = retries
+        self.initial_temperature = initial_temperature
+        self.final_temperature = final_temperature
+        self._rng = as_generator(seed)
+
+    # -- public API ---------------------------------------------------------
+
+    def reduce(self, graph: nx.Graph, target_size: int | None = None) -> ReductionResult:
+        """Distill ``graph``; binary-search the size unless ``target_size`` given.
+
+        With ``target_size`` the reducer runs the annealer at that exact
+        size (used by the fixed-ratio comparisons of Figs. 8-9); otherwise
+        it binary-searches for the smallest size meeting the AND threshold.
+        """
+        ensure_graph(graph)
+        n = graph.number_of_nodes()
+        if graph.number_of_edges() == 0:
+            raise ValueError("cannot reduce a graph with no edges")
+        if target_size is not None:
+            if not self.min_nodes <= target_size <= n:
+                raise ValueError(
+                    f"target_size must be in [{self.min_nodes}, {n}], got {target_size}"
+                )
+            best = self._anneal_at_size(graph, target_size)
+            return self._build_result(graph, best)
+
+        lo = max(self.min_nodes, int(np.ceil(self.min_keep_fraction * n)))
+        lo = min(lo, n)
+        hi = n
+        feasible: AnnealResult | None = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            candidate = self._anneal_at_size(graph, mid)
+            if candidate is not None and self._acceptable(graph, candidate):
+                feasible = candidate
+                hi = mid - 1  # try smaller
+            else:
+                lo = mid + 1  # need a bigger subgraph
+        if feasible is None:
+            # The graph itself always satisfies the ratio; fall back to it.
+            whole = AnnealResult(
+                nodes=set(graph.nodes()),
+                subgraph=nx.Graph(graph),
+                objective=0.0,
+                steps=0,
+                history=[0.0],
+            )
+            feasible = whole
+        return self._build_result(graph, feasible)
+
+    # -- internals ----------------------------------------------------------
+
+    def _anneal_at_size(self, graph: nx.Graph, k: int) -> AnnealResult | None:
+        """Best annealing outcome over ``retries`` runs, or None if impossible."""
+        best: AnnealResult | None = None
+        for _ in range(self.retries):
+            try:
+                result = simulated_annealing(
+                    graph,
+                    k,
+                    initial_temperature=self.initial_temperature,
+                    final_temperature=self.final_temperature,
+                    cooling=self.cooling,
+                    seed=self._rng,
+                )
+            except ValueError:
+                return None  # no connected component of that size
+            if best is None or result.objective < best.objective:
+                best = result
+            if best.objective == 0.0:
+                break
+        return best
+
+    def _acceptable(self, graph: nx.Graph, result: AnnealResult) -> bool:
+        return self._and_ratio(graph, result) >= self.and_ratio_threshold
+
+    @staticmethod
+    def _and_ratio(graph: nx.Graph, result: AnnealResult) -> float:
+        original = average_node_degree(graph)
+        sub = average_node_degree(result.subgraph) if result.subgraph.number_of_nodes() else 0.0
+        if original == 0.0 or sub == 0.0:
+            return 0.0
+        ratio = sub / original
+        return ratio if ratio <= 1.0 else 1.0 / ratio
+
+    def _build_result(self, graph: nx.Graph, result: AnnealResult) -> ReductionResult:
+        try:
+            ordered = sorted(result.nodes)
+        except TypeError:
+            ordered = list(result.nodes)
+        mapping = {node: index for index, node in enumerate(ordered)}
+        reduced = relabel_to_range(nx.Graph(graph.subgraph(result.nodes)))
+        return ReductionResult(
+            original_graph=graph,
+            nodes=set(result.nodes),
+            reduced_graph=reduced,
+            node_mapping=mapping,
+            and_ratio=self._and_ratio(graph, result),
+            anneal_result=result,
+        )

@@ -1,0 +1,25 @@
+"""Benchmark graph datasets (paper Sec. 5.2, Table 1).
+
+The original AIDS / LINUX / IMDb collections are TU-dataset downloads; this
+reproduction ships synthetic generators matched to the published statistics
+(graph counts, node ranges, and -- critically for every Red-QAOA result --
+the average-node-degree profile: IMDb dense and cliquish, AIDS and LINUX
+sparse and tree-like).  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.datasets.random_graphs import random_graph_suite, random_connected_gnp
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.datasets.stats import DatasetStats, dataset_stats
+from repro.datasets.synthetic import aids_like_graph, imdb_like_graph, linux_like_graph
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetStats",
+    "aids_like_graph",
+    "dataset_stats",
+    "imdb_like_graph",
+    "linux_like_graph",
+    "load_dataset",
+    "random_connected_gnp",
+    "random_graph_suite",
+]

@@ -1,0 +1,45 @@
+"""GNN-based graph pooling baselines (paper Secs. 2.2.2, 4.5, 5.5).
+
+The paper compares Red-QAOA against three torch-geometric poolers: Top-K,
+Self-Attention Graph (SAG) pooling, and Adaptive Structure Aware (ASA)
+pooling.  This subpackage reimplements them in NumPy over the same
+hand-crafted node-feature vector the paper feeds them (degree, clustering
+coefficient, betweenness / closeness / eigenvector centralities).  Weights
+are seeded-random rather than trained; see DESIGN.md for why that preserves
+the comparison (fixed-ratio pooling without landscape feedback is the
+baseline property being tested, not weight quality).
+
+All poolers share the interface ``pool(graph, num_nodes) -> nx.Graph``.
+"""
+
+from repro.pooling.asa import ASAPooling
+from repro.pooling.base import GraphPooler
+from repro.pooling.coarsening import HeavyEdgeCoarsening
+from repro.pooling.features import node_feature_matrix
+from repro.pooling.sag import SAGPooling
+from repro.pooling.topk import TopKPooling
+
+__all__ = [
+    "ASAPooling",
+    "GraphPooler",
+    "HeavyEdgeCoarsening",
+    "SAGPooling",
+    "TopKPooling",
+    "node_feature_matrix",
+    "get_pooler",
+]
+
+
+def get_pooler(name: str, seed: int | None = 0) -> GraphPooler:
+    """Construct a pooler by name: ``"topk"``, ``"sag"``, ``"asa"``, or
+    ``"coarsen"`` (the edge-contraction extension baseline)."""
+    table = {
+        "topk": TopKPooling,
+        "sag": SAGPooling,
+        "asa": ASAPooling,
+        "coarsen": HeavyEdgeCoarsening,
+    }
+    key = name.lower()
+    if key not in table:
+        raise KeyError(f"unknown pooler {name!r}; available: {sorted(table)}")
+    return table[key](seed=seed)

@@ -1,0 +1,60 @@
+"""Shared pooling interface and node-selection helpers."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.graphs import ensure_graph, relabel_to_range
+
+__all__ = ["GraphPooler", "induced_pooled_graph"]
+
+
+class GraphPooler:
+    """Interface: reduce a graph to a fixed node budget.
+
+    Subclasses implement :meth:`scores`; the base class handles top-k
+    selection and subgraph construction.  Unlike Red-QAOA's reducer, a
+    pooler performs no dynamic AND/MSE checking -- it selects exactly
+    ``num_nodes`` nodes by learned importance, which is the fixed-ratio
+    behaviour the paper critiques (Sec. 4.5).
+    """
+
+    name: str = "pooler"
+
+    def scores(self, graph: nx.Graph) -> np.ndarray:
+        """Importance score per node, in sorted node order."""
+        raise NotImplementedError
+
+    def pool(self, graph: nx.Graph, num_nodes: int) -> nx.Graph:
+        """Pooled graph with exactly ``num_nodes`` nodes, labels 0..k-1."""
+        ensure_graph(graph)
+        n = graph.number_of_nodes()
+        if not 1 <= num_nodes <= n:
+            raise ValueError(f"num_nodes must be in [1, {n}], got {num_nodes}")
+        score = np.asarray(self.scores(graph), dtype=float)
+        if score.shape != (n,):
+            raise ValueError(f"scores must have shape ({n},), got {score.shape}")
+        nodes = sorted(graph.nodes())
+        order = np.argsort(-score, kind="stable")
+        keep = {nodes[i] for i in order[:num_nodes]}
+        return induced_pooled_graph(graph, keep)
+
+    def pool_ratio(self, graph: nx.Graph, keep_ratio: float) -> nx.Graph:
+        """Pool keeping ``ceil(keep_ratio * n)`` nodes."""
+        if not 0.0 < keep_ratio <= 1.0:
+            raise ValueError(f"keep_ratio must be in (0, 1], got {keep_ratio}")
+        n = graph.number_of_nodes()
+        return self.pool(graph, max(1, int(np.ceil(keep_ratio * n))))
+
+
+def induced_pooled_graph(graph: nx.Graph, keep: set) -> nx.Graph:
+    """Induced subgraph on ``keep``, relabeled to ``0..k-1``.
+
+    Matches torch-geometric's Top-K/SAG behaviour: edges are those of the
+    original graph among the kept nodes (filter_adj).  The result may be
+    disconnected or even edge-free -- a real failure mode of fixed-ratio
+    pooling that the Fig. 8 comparison exposes.
+    """
+    sub = nx.Graph(graph.subgraph(keep))
+    return relabel_to_range(sub) if sub.number_of_nodes() else sub

@@ -1,0 +1,57 @@
+"""A minimal NumPy graph convolutional network (GCN).
+
+Implements Kipf-Welling propagation ``H' = relu(A_hat @ H @ W)`` with the
+symmetric-normalized adjacency ``A_hat = D^{-1/2} (A + I) D^{-1/2}``.
+Weights are Glorot-initialized from a seed, standing in for the trained
+weights of the torch-geometric poolers (see package docstring).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.graphs import ensure_graph
+from repro.utils.rng import as_generator
+
+__all__ = ["GCN", "normalized_adjacency"]
+
+
+def normalized_adjacency(graph: nx.Graph) -> np.ndarray:
+    """``D^{-1/2} (A + I) D^{-1/2}`` over sorted node order."""
+    ensure_graph(graph)
+    nodes = sorted(graph.nodes())
+    a = nx.to_numpy_array(graph, nodelist=nodes) + np.eye(len(nodes))
+    d_inv_sqrt = 1.0 / np.sqrt(a.sum(axis=1))
+    return a * d_inv_sqrt[:, None] * d_inv_sqrt[None, :]
+
+
+class GCN:
+    """A stack of GCN layers with seeded Glorot weights.
+
+    ``dims`` is the layer width sequence, e.g. ``(5, 8, 1)`` for a scorer
+    that maps 5 input features to one importance score per node.  The final
+    layer is linear (no ReLU) so scores can be negative.
+    """
+
+    def __init__(self, dims: tuple[int, ...], seed: int | np.random.Generator | None = 0):
+        if len(dims) < 2:
+            raise ValueError(f"need at least input and output dims, got {dims}")
+        rng = as_generator(seed)
+        self.weights: list[np.ndarray] = []
+        for fan_in, fan_out in zip(dims, dims[1:]):
+            scale = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights.append(rng.uniform(-scale, scale, size=(fan_in, fan_out)))
+
+    def forward(self, a_hat: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """Propagate ``features`` through the network."""
+        if features.shape[1] != self.weights[0].shape[0]:
+            raise ValueError(
+                f"feature dim {features.shape[1]} != input dim {self.weights[0].shape[0]}"
+            )
+        h = features
+        for index, w in enumerate(self.weights):
+            h = a_hat @ h @ w
+            if index < len(self.weights) - 1:
+                h = np.maximum(h, 0.0)  # ReLU on hidden layers
+        return h

@@ -1,0 +1,35 @@
+"""Self-Attention Graph (SAG) pooling [Lee, Lee, Kang 2019].
+
+Node importance comes from a graph convolution over the features
+(``score = GCN(A, X)``), so selection is structure-aware: a node's score
+depends on its neighborhood, not just its own features.  Top-k selection
+and subgraph construction follow the original method.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.pooling.base import GraphPooler
+from repro.pooling.features import FEATURE_NAMES, node_feature_matrix
+from repro.pooling.gnn import GCN, normalized_adjacency
+
+__all__ = ["SAGPooling"]
+
+
+class SAGPooling(GraphPooler):
+    """GCN-attention node scoring with top-k selection."""
+
+    name = "sag"
+
+    def __init__(self, seed: int | np.random.Generator | None = 0, hidden: int = 8):
+        if hidden < 1:
+            raise ValueError(f"hidden must be >= 1, got {hidden}")
+        self.gcn = GCN((len(FEATURE_NAMES), hidden, 1), seed=seed)
+
+    def scores(self, graph: nx.Graph) -> np.ndarray:
+        a_hat = normalized_adjacency(graph)
+        features = node_feature_matrix(graph)
+        raw = self.gcn.forward(a_hat, features)[:, 0]
+        return np.tanh(raw)  # SAGPool applies tanh to attention scores

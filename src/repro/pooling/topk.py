@@ -1,0 +1,33 @@
+"""Top-K pooling [Gao & Ji 2019; Cangea et al. 2018].
+
+Scores each node by the projection of its feature vector onto a learnable
+direction ``w`` (``score = X @ w / ||w||``) and keeps the top-k nodes.  Our
+``w`` is seeded-random (untrained), matching the reproduction protocol in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.pooling.base import GraphPooler
+from repro.pooling.features import FEATURE_NAMES, node_feature_matrix
+from repro.utils.rng import as_generator
+
+__all__ = ["TopKPooling"]
+
+
+class TopKPooling(GraphPooler):
+    """Projection-score top-k node selection."""
+
+    name = "topk"
+
+    def __init__(self, seed: int | np.random.Generator | None = 0):
+        rng = as_generator(seed)
+        self.projection = rng.normal(size=len(FEATURE_NAMES))
+
+    def scores(self, graph: nx.Graph) -> np.ndarray:
+        features = node_feature_matrix(graph)
+        norm = np.linalg.norm(self.projection)
+        return features @ (self.projection / norm)

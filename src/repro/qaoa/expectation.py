@@ -1,0 +1,99 @@
+"""Expectation-value dispatch: pick the right engine for the problem size.
+
+``maxcut_expectation`` chooses among three exact engines:
+
+- **statevector** (:mod:`repro.qaoa.fast_sim`) for graphs up to
+  ``exact_limit`` nodes -- fastest and exact for any depth;
+- **analytic** (:mod:`repro.qaoa.analytic`) for p=1 at any size -- O(|E|);
+- **lightcone** (:mod:`repro.qaoa.lightcone`) for deeper circuits on large
+  sparse graphs.
+
+``noisy_maxcut_expectation`` runs the fast Pauli-trajectory noisy path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.qaoa.analytic import maxcut_p1_expectation
+from repro.qaoa.fast_sim import (
+    FastNoiseSpec,
+    noisy_qaoa_expectation_fast,
+    qaoa_expectation_fast,
+)
+from repro.qaoa.hamiltonian import MaxCutHamiltonian
+from repro.qaoa.lightcone import LightconeTooLargeError, lightcone_expectation
+from repro.utils.graphs import ensure_graph, relabel_to_range
+
+__all__ = ["EngineLimitError", "maxcut_expectation", "noisy_maxcut_expectation"]
+
+_EXACT_LIMIT = 20
+
+
+class EngineLimitError(ValueError):
+    """No exact engine can handle the requested (size, depth) combination."""
+
+
+def maxcut_expectation(
+    graph: nx.Graph,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+    method: str = "auto",
+    exact_limit: int = _EXACT_LIMIT,
+) -> float:
+    """Ideal QAOA MaxCut expectation with automatic engine choice.
+
+    ``method`` may be ``"auto"``, ``"statevector"``, ``"analytic"`` (p=1
+    only) or ``"lightcone"``.
+    """
+    ensure_graph(graph)
+    gammas = [float(g) for g in np.atleast_1d(gammas)]
+    betas = [float(b) for b in np.atleast_1d(betas)]
+    if len(gammas) != len(betas) or not gammas:
+        raise ValueError("gammas and betas must be non-empty and equal length")
+    p = len(gammas)
+    n = graph.number_of_nodes()
+
+    if method == "statevector" or (method == "auto" and n <= exact_limit):
+        hamiltonian = MaxCutHamiltonian(graph)
+        return qaoa_expectation_fast(hamiltonian, gammas, betas)
+    if method == "analytic" or (method == "auto" and p == 1):
+        if p != 1:
+            raise ValueError("the analytic engine only supports p=1")
+        return maxcut_p1_expectation(graph, gammas[0], betas[0])
+    if method in ("lightcone", "auto"):
+        relabeled = relabel_to_range(graph)
+        try:
+            return lightcone_expectation(relabeled, gammas, betas, max_qubits=exact_limit)
+        except LightconeTooLargeError as exc:
+            raise EngineLimitError(
+                f"graph with {n} nodes at p={p} is beyond exact simulation: {exc}"
+            ) from exc
+    raise ValueError(f"unknown method {method!r}")
+
+
+def noisy_maxcut_expectation(
+    graph: nx.Graph,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+    noise: FastNoiseSpec,
+    trajectories: int = 8,
+    shots: int | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> float:
+    """Noisy QAOA MaxCut expectation on the fast trajectory path.
+
+    Noise is injected at QAOA-layer granularity (see
+    :class:`~repro.qaoa.fast_sim.FastNoiseSpec`); readout error and optional
+    finite-``shots`` sampling apply at the end.
+    """
+    ensure_graph(graph)
+    hamiltonian = MaxCutHamiltonian(graph)
+    gammas = [float(g) for g in np.atleast_1d(gammas)]
+    betas = [float(b) for b in np.atleast_1d(betas)]
+    return noisy_qaoa_expectation_fast(
+        hamiltonian, gammas, betas, noise, trajectories=trajectories, shots=shots, seed=seed
+    )

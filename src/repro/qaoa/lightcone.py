@@ -1,0 +1,133 @@
+"""Lightcone (subgraph) evaluation of QAOA expectations.
+
+The expectation of a p-layer QAOA decomposes edge by edge (paper Eq. 7),
+and each edge term ``E_<jk>`` depends only on the subgraph induced by nodes
+within graph distance ``p`` of the edge (paper Sec. 3.3, following Farhi et
+al.).  Evaluating each edge term on its own small subgraph makes exact
+expectations possible for graphs far beyond full-statevector reach, as long
+as the graph is sparse enough that the distance-p neighborhoods stay small.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.qaoa.fast_sim import qaoa_probabilities
+from repro.qaoa.hamiltonian import MaxCutHamiltonian
+from repro.utils.graphs import ensure_graph
+
+__all__ = ["LightconeTooLargeError", "lightcone_expectation", "edge_lightcone"]
+
+
+class LightconeTooLargeError(ValueError):
+    """A distance-p neighborhood exceeds the exact-simulation qubit cap."""
+
+
+def edge_lightcone(graph: nx.Graph, edge: tuple[int, int], p: int) -> set:
+    """Nodes within graph distance ``p`` of either endpoint of ``edge``."""
+    u, v = edge
+    nodes = {u, v}
+    frontier = {u, v}
+    for _ in range(p):
+        nxt = set()
+        for node in frontier:
+            nxt.update(graph.neighbors(node))
+        nxt -= nodes
+        nodes |= nxt
+        frontier = nxt
+        if not frontier:
+            break
+    return nodes
+
+
+def lightcone_expectation(
+    graph: nx.Graph,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+    max_qubits: int = 20,
+) -> float:
+    """Exact QAOA expectation via per-edge lightcone simulation.
+
+    Raises :class:`LightconeTooLargeError` when some edge's distance-p
+    neighborhood exceeds ``max_qubits`` nodes.  Identical lightcones (up to
+    the relabeled (edge, subgraph) signature) are evaluated once and reused,
+    which is what makes regular-ish graphs cheap.
+    """
+    ensure_graph(graph)
+    gammas = list(gammas)
+    betas = list(betas)
+    if len(gammas) != len(betas) or not gammas:
+        raise ValueError("gammas and betas must be non-empty and equal length")
+    p = len(gammas)
+    cache: dict[object, float] = {}
+    total = 0.0
+    for edge in graph.edges():
+        nodes = edge_lightcone(graph, edge, p)
+        if len(nodes) > max_qubits:
+            raise LightconeTooLargeError(
+                f"edge {edge} has a distance-{p} lightcone of {len(nodes)} nodes "
+                f"(> {max_qubits}); the graph is too dense for lightcone evaluation"
+            )
+        key = _signature(graph, edge, nodes)
+        if key not in cache:
+            cache[key] = _edge_term(graph, edge, nodes, gammas, betas)
+        total += cache[key]
+    return total
+
+
+def _signature(graph: nx.Graph, edge: tuple[int, int], nodes: set) -> object:
+    """Hashable key for a (subgraph, marked edge) pair after relabeling.
+
+    A cheap canonical form: relabel nodes by (distance-to-edge, degree-in-
+    subgraph, tie-break by BFS order).  Collisions across genuinely distinct
+    lightcones are possible in principle, so the signature also embeds the
+    full relabeled edge multiset; two lightcones with equal signatures are
+    isomorphic *with the marked edge fixed* for all structures occurring in
+    our benchmarks, and a wrong merge would only occur for non-isomorphic
+    graphs sharing an identical canonical edge list, which cannot happen
+    (the edge list determines the graph).
+    """
+    sub = graph.subgraph(nodes)
+    u, v = edge
+    order: dict[int, int] = {}
+    frontier = sorted([u, v], key=lambda x: (sub.degree(x), x))
+    for node in frontier:
+        order[node] = len(order)
+    queue = list(frontier)
+    while queue:
+        node = queue.pop(0)
+        nbrs = sorted(
+            (n for n in sub.neighbors(node) if n not in order),
+            key=lambda x: (sub.degree(x), x),
+        )
+        for n in nbrs:
+            order[n] = len(order)
+            queue.append(n)
+    edges = frozenset(
+        (min(order[a], order[b]), max(order[a], order[b])) for a, b in sub.edges()
+    )
+    marked = (min(order[u], order[v]), max(order[u], order[v]))
+    return (marked, edges)
+
+
+def _edge_term(
+    graph: nx.Graph,
+    edge: tuple[int, int],
+    nodes: set,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+) -> float:
+    """Evaluate ``<C_uv>`` exactly on the induced lightcone subgraph."""
+    sub = graph.subgraph(nodes)
+    ordered = sorted(sub.nodes())
+    mapping = {node: index for index, node in enumerate(ordered)}
+    relabeled = nx.relabel_nodes(sub, mapping)
+    hamiltonian = MaxCutHamiltonian(relabeled)
+    probs = qaoa_probabilities(hamiltonian, list(gammas), list(betas))
+    u, v = mapping[edge[0]], mapping[edge[1]]
+    z = np.arange(probs.size, dtype=np.uint64)
+    cut = ((z >> np.uint64(u)) ^ (z >> np.uint64(v))) & np.uint64(1)
+    return float(probs @ cut.astype(float))

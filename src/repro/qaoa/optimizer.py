@@ -1,0 +1,151 @@
+"""Classical parameter optimization: COBYLA with restarts, grid search.
+
+The paper optimizes with SciPy's COBYLA (ref. [52]) and multiple random
+restarts, recording the parameters at every iteration so noisy runs can be
+re-evaluated on an ideal simulator (Fig. 20).  :class:`OptimizationTrace`
+captures exactly that record.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize as sciopt
+
+from repro.qaoa.landscape import BETA_RANGE, GAMMA_RANGE, grid_axes
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "OptimizationTrace",
+    "cobyla_optimize",
+    "grid_search",
+    "multi_restart_optimize",
+    "random_initial_point",
+]
+
+EnergyFunction = Callable[[np.ndarray, np.ndarray], float]
+"""Signature: f(gammas, betas) -> expectation (to be MAXIMIZED)."""
+
+
+@dataclass
+class OptimizationTrace:
+    """Record of one optimization run.
+
+    ``parameters[i]`` is the (gammas, betas) pair evaluated at step ``i``
+    and ``values[i]`` the objective seen by the optimizer (possibly noisy);
+    ``best_value``/``best_parameters`` track the incumbent.
+    """
+
+    parameters: list[tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, gammas: np.ndarray, betas: np.ndarray, value: float) -> None:
+        self.parameters.append((gammas.copy(), betas.copy()))
+        self.values.append(float(value))
+
+    @property
+    def num_evaluations(self) -> int:
+        return len(self.values)
+
+    @property
+    def best_value(self) -> float:
+        if not self.values:
+            raise ValueError("trace is empty")
+        return max(self.values)
+
+    @property
+    def best_parameters(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self.values:
+            raise ValueError("trace is empty")
+        index = int(np.argmax(self.values))
+        return self.parameters[index]
+
+    def reevaluate(self, fn: EnergyFunction) -> np.ndarray:
+        """Evaluate every visited parameter set under another objective.
+
+        Fig. 20's protocol: record noisy-optimizer iterates, then recompute
+        their *ideal* energies to compare convergence trajectories.
+        """
+        return np.array([fn(g, b) for g, b in self.parameters])
+
+
+def random_initial_point(p: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random starting vector [gammas..., betas...] of length 2p."""
+    gammas = rng.uniform(GAMMA_RANGE[0], GAMMA_RANGE[1], size=p)
+    betas = rng.uniform(BETA_RANGE[0], BETA_RANGE[1], size=p)
+    return np.concatenate([gammas, betas])
+
+
+def cobyla_optimize(
+    fn: EnergyFunction,
+    p: int,
+    initial: np.ndarray | None = None,
+    maxiter: int = 100,
+    rhobeg: float = 0.5,
+    seed: int | np.random.Generator | None = None,
+) -> OptimizationTrace:
+    """Maximize ``fn`` with COBYLA from ``initial`` (random if omitted)."""
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if maxiter < 1:
+        raise ValueError(f"maxiter must be >= 1, got {maxiter}")
+    rng = as_generator(seed)
+    if initial is None:
+        initial = random_initial_point(p, rng)
+    initial = np.asarray(initial, dtype=float)
+    if initial.shape != (2 * p,):
+        raise ValueError(f"initial point must have shape ({2 * p},), got {initial.shape}")
+    trace = OptimizationTrace()
+
+    def objective(x: np.ndarray) -> float:
+        gammas, betas = x[:p], x[p:]
+        value = fn(gammas, betas)
+        trace.record(gammas, betas, value)
+        return -value  # COBYLA minimizes.
+
+    # COBYLA needs at least dim + 2 evaluations to build its first simplex.
+    effective_maxiter = max(maxiter, 2 * p + 2)
+    sciopt.minimize(
+        objective,
+        initial,
+        method="COBYLA",
+        options={"maxiter": effective_maxiter, "rhobeg": rhobeg},
+    )
+    return trace
+
+
+def multi_restart_optimize(
+    fn: EnergyFunction,
+    p: int,
+    restarts: int,
+    maxiter: int = 100,
+    seed: int | np.random.Generator | None = None,
+) -> list[OptimizationTrace]:
+    """Independent COBYLA runs from random starts (paper Sec. 6.4/6.5)."""
+    if restarts < 1:
+        raise ValueError(f"restarts must be >= 1, got {restarts}")
+    rng = as_generator(seed)
+    return [
+        cobyla_optimize(fn, p, maxiter=maxiter, seed=rng)
+        for _ in range(restarts)
+    ]
+
+
+def grid_search(
+    fn: EnergyFunction,
+    width: int = 30,
+) -> tuple[tuple[float, float], float, np.ndarray]:
+    """Exhaustive p=1 grid search over the standard parameter ranges.
+
+    Returns ``((gamma, beta), best_value, grid_values)`` where
+    ``grid_values[i, j]`` is the objective at ``(gammas[i], betas[j])``.
+    """
+    gammas, betas = grid_axes(width)
+    values = np.empty((width, width))
+    for i, gamma in enumerate(gammas):
+        for j, beta in enumerate(betas):
+            values[i, j] = fn(np.array([gamma]), np.array([beta]))
+    i, j = np.unravel_index(int(np.argmax(values)), values.shape)
+    return (float(gammas[i]), float(betas[j])), float(values[i, j]), values

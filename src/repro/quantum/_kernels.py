@@ -1,0 +1,70 @@
+"""Low-level tensor kernels shared by the simulators.
+
+States use the little-endian convention: basis index ``z`` encodes qubit
+``q`` in bit ``q`` (``z >> q & 1``).  Viewed as a rank-``n`` tensor of shape
+``(2,) * n``, qubit ``q`` therefore lives on axis ``n - 1 - q``.
+
+Two-qubit gate matrices (see :mod:`repro.quantum.gates`) are written in the
+basis ``|q1 q0>`` where ``q0`` is the *first* qubit argument, so the gate
+tensor axes are ``(q1_out, q0_out, q1_in, q0_in)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["apply_matrix", "apply_matrix_rho"]
+
+
+def apply_matrix(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply ``matrix`` on ``qubits`` of a flat statevector.
+
+    Returns a new flat array; the input is not modified.
+    """
+    k = len(qubits)
+    if matrix.shape != (2**k, 2**k):
+        raise ValueError(f"matrix shape {matrix.shape} does not act on {k} qubit(s)")
+    tensor = state.reshape((2,) * num_qubits)
+    # Gate tensor input axes are ordered most-significant-first, which for
+    # our |q1 q0> convention means reversed(qubits).
+    in_axes = [num_qubits - 1 - q for q in reversed(qubits)]
+    gate = matrix.reshape((2,) * (2 * k))
+    moved = np.tensordot(gate, tensor, axes=(list(range(k, 2 * k)), in_axes))
+    # tensordot puts gate output axes first; restore them to in_axes.
+    result = np.moveaxis(moved, range(k), in_axes)
+    return np.ascontiguousarray(result).reshape(-1)
+
+
+def apply_matrix_rho(
+    rho: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply unitary conjugation ``U rho U^dagger`` on a density matrix.
+
+    ``rho`` is the flat ``(2**n, 2**n)`` matrix.  Returns a new matrix.
+    """
+    k = len(qubits)
+    dim = 2**num_qubits
+    if rho.shape != (dim, dim):
+        raise ValueError(f"rho shape {rho.shape} does not match {num_qubits} qubits")
+    tensor = rho.reshape((2,) * (2 * num_qubits))
+    row_axes = [num_qubits - 1 - q for q in reversed(qubits)]
+    col_axes = [num_qubits + a for a in row_axes]
+    gate = matrix.reshape((2,) * (2 * k))
+    gate_conj = matrix.conj().reshape((2,) * (2 * k))
+    # U rho: contract gate input axes with rho row axes.
+    moved = np.tensordot(gate, tensor, axes=(list(range(k, 2 * k)), row_axes))
+    tensor = np.moveaxis(moved, range(k), row_axes)
+    # (U rho) U^dagger: contract conj(U) input axes with rho column axes.
+    moved = np.tensordot(gate_conj, tensor, axes=(list(range(k, 2 * k)), col_axes))
+    tensor = np.moveaxis(moved, range(k), col_axes)
+    return np.ascontiguousarray(tensor).reshape(dim, dim)

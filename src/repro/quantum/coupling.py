@@ -1,0 +1,207 @@
+"""Device coupling maps and topology generators.
+
+A :class:`CouplingMap` is an undirected connectivity graph over physical
+qubits with an all-pairs shortest-path distance table (used by the SABRE
+router).  Generators cover the topologies of the devices the paper touches:
+IBM heavy-hex lattices (Falcon/Hummingbird/Eagle) and the Rigetti Aspen
+octagonal lattice, plus simple line/ring/grid maps for tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "CouplingMap",
+    "aspen_octagonal_map",
+    "grid_map",
+    "heavy_hex_map",
+    "line_map",
+    "ring_map",
+]
+
+
+class CouplingMap:
+    """Undirected qubit connectivity with cached distances."""
+
+    def __init__(self, edges: Iterable[tuple[int, int]], num_qubits: int | None = None):
+        graph = nx.Graph()
+        graph.add_edges_from((int(u), int(v)) for u, v in edges)
+        if num_qubits is None:
+            num_qubits = max(graph.nodes) + 1 if graph.nodes else 0
+        graph.add_nodes_from(range(num_qubits))
+        if graph.number_of_nodes() != num_qubits:
+            raise ValueError("edge endpoints exceed num_qubits")
+        if num_qubits > 1 and not nx.is_connected(graph):
+            raise ValueError("coupling map must be connected")
+        self.graph = graph
+        self.num_qubits = num_qubits
+        self._distance: np.ndarray | None = None
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        return [(min(u, v), max(u, v)) for u, v in self.graph.edges()]
+
+    def neighbors(self, qubit: int) -> list[int]:
+        return sorted(self.graph.neighbors(qubit))
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    @property
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path distances, computed lazily once."""
+        if self._distance is None:
+            n = self.num_qubits
+            dist = np.full((n, n), np.inf)
+            for source, lengths in nx.all_pairs_shortest_path_length(self.graph):
+                for target, d in lengths.items():
+                    dist[source, target] = d
+            self._distance = dist
+        return self._distance
+
+    def distance(self, a: int, b: int) -> int:
+        return int(self.distance_matrix[a, b])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CouplingMap(num_qubits={self.num_qubits}, edges={len(self.edges)})"
+
+
+def line_map(num_qubits: int) -> CouplingMap:
+    """A 1-D chain of ``num_qubits`` qubits."""
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be >= 1")
+    return CouplingMap([(i, i + 1) for i in range(num_qubits - 1)], num_qubits)
+
+
+def ring_map(num_qubits: int) -> CouplingMap:
+    """A closed ring; requires at least 3 qubits."""
+    if num_qubits < 3:
+        raise ValueError("a ring needs at least 3 qubits")
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return CouplingMap(edges, num_qubits)
+
+
+def grid_map(rows: int, cols: int) -> CouplingMap:
+    """A rows x cols square lattice."""
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return CouplingMap(edges, rows * cols)
+
+
+def _trim_to_size(graph: nx.Graph, target: int) -> nx.Graph:
+    """Remove non-cut vertices (highest label first) until ``target`` nodes.
+
+    Every connected graph with >= 2 nodes has at least two non-articulation
+    vertices, so this always terminates with a connected graph.
+    """
+    graph = nx.Graph(graph)
+    while graph.number_of_nodes() > target:
+        articulation = set(nx.articulation_points(graph))
+        removable = [n for n in sorted(graph.nodes, reverse=True) if n not in articulation]
+        graph.remove_node(removable[0])
+    mapping = {node: index for index, node in enumerate(sorted(graph.nodes))}
+    return nx.relabel_nodes(graph, mapping)
+
+
+def heavy_hex_map(num_qubits: int) -> CouplingMap:
+    """IBM-style heavy-hex lattice trimmed to exactly ``num_qubits``.
+
+    The construction lays horizontal qubit chains and joins consecutive rows
+    through bridge qubits every four columns (offset alternating per row),
+    reproducing the degree <= 3 heavy-hex structure of Falcon (27),
+    Hummingbird (65), and Eagle (127) processors.  The lattice is generated
+    slightly oversized and trimmed by removing boundary qubits.
+    """
+    if num_qubits < 2:
+        raise ValueError("num_qubits must be >= 2")
+    # Pick a roughly square arrangement of rows/columns that overshoots.
+    cols = max(4, int(round((num_qubits * 2) ** 0.5)))
+    rows = 1
+    while rows * cols + (rows - 1) * (cols // 4 + 1) < num_qubits:
+        rows += 1
+    graph = nx.Graph()
+    index = 0
+    row_ids: list[list[int]] = []
+    for _ in range(rows):
+        ids = list(range(index, index + cols))
+        index += cols
+        graph.add_nodes_from(ids)
+        for a, b in zip(ids, ids[1:]):
+            graph.add_edge(a, b)
+        row_ids.append(ids)
+    for r in range(rows - 1):
+        offset = 0 if r % 2 == 0 else 2
+        for c in range(offset, cols, 4):
+            bridge = index
+            index += 1
+            graph.add_edge(row_ids[r][c], bridge)
+            graph.add_edge(bridge, row_ids[r + 1][c])
+    trimmed = _trim_to_size(graph, num_qubits)
+    return CouplingMap(trimmed.edges, num_qubits)
+
+
+def aspen_octagonal_map(num_qubits: int = 79, octagon_cols: int = 5, octagon_rows: int = 2) -> CouplingMap:
+    """Rigetti Aspen-style lattice of linked octagons trimmed to size.
+
+    Octagons are 8-qubit rings; horizontally adjacent rings connect at two
+    points and vertically adjacent rings at two points, mirroring the
+    Aspen-M family (Aspen-M-3 exposes 79 working qubits of an 80-qubit
+    lattice).
+    """
+    total = 8 * octagon_cols * octagon_rows
+    if num_qubits > total:
+        raise ValueError(f"requested {num_qubits} qubits but lattice only has {total}")
+    graph = nx.Graph()
+
+    def qubit(row: int, col: int, pos: int) -> int:
+        return 8 * (row * octagon_cols + col) + pos
+
+    for row in range(octagon_rows):
+        for col in range(octagon_cols):
+            ring = [qubit(row, col, p) for p in range(8)]
+            for a, b in zip(ring, ring[1:] + ring[:1]):
+                graph.add_edge(a, b)
+            if col + 1 < octagon_cols:
+                graph.add_edge(qubit(row, col, 1), qubit(row, col + 1, 6))
+                graph.add_edge(qubit(row, col, 2), qubit(row, col + 1, 5))
+            if row + 1 < octagon_rows:
+                graph.add_edge(qubit(row, col, 3), qubit(row + 1, col, 0))
+                graph.add_edge(qubit(row, col, 4), qubit(row + 1, col, 7))
+    trimmed = _trim_to_size(graph, num_qubits)
+    return CouplingMap(trimmed.edges, num_qubits)
+
+
+# The production 27-qubit IBM Falcon coupling map (Toronto/Kolkata/Mumbai/
+# Cairo/Auckland all share it), transcribed from published device diagrams.
+FALCON_27_EDGES: list[tuple[int, int]] = [
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14), (14, 16), (15, 18), (16, 19), (17, 18), (18, 21), (19, 20),
+    (19, 22), (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+]
+
+# The 16-qubit Falcon (Guadalupe) map.
+GUADALUPE_16_EDGES: list[tuple[int, int]] = [
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14),
+]
+
+# The 14-qubit Melbourne (Canary) double-rail map.
+MELBOURNE_14_EDGES: list[tuple[int, int]] = [
+    (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (8, 7), (9, 8),
+    (10, 9), (11, 10), (12, 11), (13, 12), (1, 13), (2, 12), (3, 11),
+    (4, 10), (5, 9), (6, 8),
+]

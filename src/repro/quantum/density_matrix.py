@@ -1,0 +1,105 @@
+"""Exact noisy simulation with density matrices.
+
+:class:`DensityMatrixSimulator` evolves ``rho`` through a circuit, applying
+each gate as a unitary conjugation and each attached noise channel as a
+Kraus map.  Memory is ``O(4**n)``, so the default qubit cap is low; larger
+noisy circuits go through :class:`~repro.quantum.trajectories.
+TrajectorySimulator` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum._kernels import apply_matrix_rho
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.gates import gate_matrix
+from repro.quantum.noise import NoiseModel, QuantumError
+
+__all__ = ["DensityMatrixSimulator"]
+
+
+class DensityMatrixSimulator:
+    """Exact mixed-state simulator with optional gate-level noise."""
+
+    def __init__(self, max_qubits: int = 10) -> None:
+        self.max_qubits = max_qubits
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        noise_model: NoiseModel | None = None,
+    ) -> np.ndarray:
+        """Final density matrix after ``circuit`` under ``noise_model``."""
+        n = circuit.num_qubits
+        if n > self.max_qubits:
+            raise ValueError(
+                f"circuit has {n} qubits, exceeding max_qubits={self.max_qubits}; "
+                "use TrajectorySimulator for larger noisy circuits"
+            )
+        dim = 2**n
+        rho = np.zeros((dim, dim), dtype=complex)
+        rho[0, 0] = 1.0
+        for inst in circuit:
+            matrix = gate_matrix(inst.name, inst.params)
+            rho = apply_matrix_rho(rho, matrix, inst.qubits, n)
+            if noise_model is not None:
+                for error in noise_model.errors_for(inst):
+                    rho = self._apply_channel(rho, error, inst.qubits, n)
+        return rho
+
+    def probabilities(
+        self,
+        circuit: QuantumCircuit,
+        noise_model: NoiseModel | None = None,
+    ) -> np.ndarray:
+        """Measurement probabilities, including readout error if modeled."""
+        rho = self.run(circuit, noise_model)
+        probs = np.real(np.diag(rho)).clip(min=0.0)
+        probs = probs / probs.sum()
+        if noise_model is not None:
+            probs = noise_model.apply_readout_to_probs(probs, circuit.num_qubits)
+        return probs
+
+    def expectation_diagonal(
+        self,
+        circuit: QuantumCircuit,
+        diagonal: np.ndarray,
+        noise_model: NoiseModel | None = None,
+    ) -> float:
+        """Expectation of a diagonal observable under noisy evolution."""
+        probs = self.probabilities(circuit, noise_model)
+        diagonal = np.asarray(diagonal, dtype=float)
+        if diagonal.shape != probs.shape:
+            raise ValueError(f"diagonal shape {diagonal.shape} != {probs.shape}")
+        return float(probs @ diagonal)
+
+    @staticmethod
+    def _apply_channel(
+        rho: np.ndarray,
+        error: QuantumError,
+        qubits: tuple[int, ...],
+        num_qubits: int,
+    ) -> np.ndarray:
+        """Apply a Kraus channel to ``rho`` on ``qubits``.
+
+        Channels narrower than the gate (e.g. a 1-qubit channel attached to
+        a 2-qubit gate) are applied independently to each gate qubit, which
+        matches how per-qubit relaxation acts during a 2-qubit gate.
+        """
+        if error.num_qubits == len(qubits):
+            targets: list[tuple[int, ...]] = [qubits]
+        elif error.num_qubits == 1:
+            targets = [(q,) for q in qubits]
+        else:
+            raise ValueError(
+                f"cannot apply a {error.num_qubits}-qubit channel to gate "
+                f"qubits {qubits}"
+            )
+        for target in targets:
+            acc = np.zeros_like(rho)
+            for k in error.kraus:
+                term = apply_matrix_rho(rho, k, target, num_qubits)
+                acc += term
+            rho = acc
+        return rho

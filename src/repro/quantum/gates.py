@@ -1,0 +1,133 @@
+"""Gate definitions: unitary matrices for the supported gate set.
+
+Gates are identified by lowercase string names throughout the library.  The
+set covers what QAOA-for-MaxCut circuits and their transpiled forms need:
+
+- single-qubit: ``i, x, y, z, h, s, sdg, t, tdg, sx, rx, ry, rz, u3``
+- two-qubit: ``cx, cz, swap, rzz``
+
+:func:`gate_matrix` returns the unitary for a (name, params) pair.  Matrices
+use the little-endian qubit convention that the simulators expect: for a
+two-qubit gate acting on (q0, q1), the basis ordering is |q1 q0>.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "GATE_ARITY",
+    "PARAM_COUNT",
+    "gate_matrix",
+    "is_diagonal_gate",
+]
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+_FIXED_1Q: dict[str, np.ndarray] = {
+    "i": np.eye(2, dtype=complex),
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "h": np.array([[_SQ2, _SQ2], [_SQ2, -_SQ2]], dtype=complex),
+    "s": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "sdg": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "t": np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex),
+    "tdg": np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=complex),
+    "sx": 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex),
+}
+
+_FIXED_2Q: dict[str, np.ndarray] = {
+    # Control is the first qubit (q0), target the second (q1); basis |q1 q0>.
+    "cx": np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 0, 1],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+        ],
+        dtype=complex,
+    ),
+    "cz": np.diag([1, 1, 1, -1]).astype(complex),
+    "swap": np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+        ],
+        dtype=complex,
+    ),
+}
+
+GATE_ARITY: dict[str, int] = {
+    **{name: 1 for name in _FIXED_1Q},
+    **{name: 1 for name in ("rx", "ry", "rz", "u3")},
+    **{name: 2 for name in _FIXED_2Q},
+    "rzz": 2,
+}
+
+PARAM_COUNT: dict[str, int] = {
+    **{name: 0 for name in _FIXED_1Q},
+    **{name: 0 for name in _FIXED_2Q},
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+    "rzz": 1,
+    "u3": 3,
+}
+
+_DIAGONAL_GATES = frozenset({"i", "z", "s", "sdg", "t", "tdg", "rz", "cz", "rzz"})
+
+
+def is_diagonal_gate(name: str) -> bool:
+    """Whether ``name`` is diagonal in the computational basis."""
+    return name in _DIAGONAL_GATES
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Unitary matrix for gate ``name`` with rotation ``params``.
+
+    Raises ``KeyError`` for unknown gates and ``ValueError`` when the number
+    of parameters does not match :data:`PARAM_COUNT`.
+    """
+    if name not in GATE_ARITY:
+        raise KeyError(f"unknown gate: {name!r}")
+    expected = PARAM_COUNT[name]
+    if len(params) != expected:
+        raise ValueError(f"gate {name!r} takes {expected} parameter(s), got {len(params)}")
+    if name in _FIXED_1Q:
+        return _FIXED_1Q[name].copy()
+    if name in _FIXED_2Q:
+        return _FIXED_2Q[name].copy()
+    if name == "rx":
+        (theta,) = params
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+    if name == "ry":
+        (theta,) = params
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array([[c, -s], [s, c]], dtype=complex)
+    if name == "rz":
+        (theta,) = params
+        phase = cmath.exp(-0.5j * theta)
+        return np.array([[phase, 0], [0, phase.conjugate()]], dtype=complex)
+    if name == "u3":
+        theta, phi, lam = params
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array(
+            [
+                [c, -cmath.exp(1j * lam) * s],
+                [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+            ],
+            dtype=complex,
+        )
+    if name == "rzz":
+        (theta,) = params
+        phase = cmath.exp(-0.5j * theta)
+        return np.diag([phase, phase.conjugate(), phase.conjugate(), phase]).astype(complex)
+    raise KeyError(f"unknown gate: {name!r}")  # pragma: no cover - guarded above

@@ -1,0 +1,308 @@
+"""Noise channels and device noise models.
+
+The paper runs noisy simulations through Qiskit Aer noise models built from
+IBM fake-backend calibration data.  This module provides the same pieces:
+
+- :class:`QuantumError` — a CPTP channel in Kraus form, with an optional
+  exact or twirled Pauli representation for trajectory sampling;
+- constructors for the standard channels (depolarizing, amplitude/phase
+  damping, thermal relaxation, Pauli);
+- :class:`ReadoutError` — per-qubit assignment-error confusion matrices;
+- :class:`NoiseModel` — maps gate names (and optionally qubit tuples) to the
+  channels applied after each gate, plus readout errors.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.quantum.circuit import Instruction
+
+__all__ = [
+    "NoiseModel",
+    "QuantumError",
+    "ReadoutError",
+    "amplitude_damping_error",
+    "depolarizing_error",
+    "pauli_error",
+    "phase_damping_error",
+    "thermal_relaxation_error",
+]
+
+_PAULI_1Q = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+def pauli_string_matrix(label: str) -> np.ndarray:
+    """Kron-product matrix for a Pauli label like ``"XZ"``.
+
+    The label is ordered most-significant qubit first, matching the two-qubit
+    gate basis convention in :mod:`repro.quantum.gates`.
+    """
+    matrix = np.array([[1.0 + 0j]])
+    for ch in label:
+        matrix = np.kron(matrix, _PAULI_1Q[ch])
+    return matrix
+
+
+@dataclass
+class QuantumError:
+    """A noise channel on ``num_qubits`` qubits.
+
+    ``kraus`` is always populated and is what the density-matrix simulator
+    applies.  ``pauli_probs`` is populated when the channel is a Pauli
+    channel (exactly or after twirling) and is what the trajectory simulator
+    samples from: a dict mapping Pauli labels (e.g. ``"IX"``) to
+    probabilities summing to 1 (the identity label carries the no-error
+    weight).
+    """
+
+    kraus: list[np.ndarray]
+    num_qubits: int
+    pauli_probs: dict[str, float] | None = None
+
+    def __post_init__(self) -> None:
+        dim = 2**self.num_qubits
+        total = np.zeros((dim, dim), dtype=complex)
+        for k in self.kraus:
+            if k.shape != (dim, dim):
+                raise ValueError(f"Kraus operator shape {k.shape} != ({dim}, {dim})")
+            total += k.conj().T @ k
+        if not np.allclose(total, np.eye(dim), atol=1e-8):
+            raise ValueError("Kraus operators do not satisfy the completeness relation")
+        if self.pauli_probs is not None:
+            s = sum(self.pauli_probs.values())
+            if not math.isclose(s, 1.0, abs_tol=1e-8):
+                raise ValueError(f"Pauli probabilities sum to {s}, expected 1")
+
+    def to_pauli(self) -> dict[str, float]:
+        """Pauli representation, twirling the channel if necessary.
+
+        Pauli twirling replaces the channel ``E`` with the Pauli channel
+        whose probabilities are ``p_P = sum_k |tr(P K_k)|^2 / d^2``.  For a
+        channel that is already Pauli this is exact; for amplitude damping it
+        is the standard approximation used in trajectory samplers.
+        """
+        if self.pauli_probs is not None:
+            return dict(self.pauli_probs)
+        dim = 2**self.num_qubits
+        labels = ["".join(p) for p in itertools.product("IXYZ", repeat=self.num_qubits)]
+        probs: dict[str, float] = {}
+        for label in labels:
+            pmat = pauli_string_matrix(label)
+            weight = sum(abs(np.trace(pmat.conj().T @ k)) ** 2 for k in self.kraus)
+            p = float(weight) / dim**2
+            if p > 1e-15:
+                probs[label] = p
+        total = sum(probs.values())
+        return {k: v / total for k, v in probs.items()}
+
+    def compose(self, other: "QuantumError") -> "QuantumError":
+        """Sequential composition ``other after self`` (same width)."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("cannot compose errors of different widths")
+        kraus = [b @ a for a in self.kraus for b in other.kraus]
+        pauli = None
+        if self.pauli_probs is not None and other.pauli_probs is not None:
+            pauli = _compose_pauli(self.pauli_probs, other.pauli_probs)
+        return QuantumError(kraus, self.num_qubits, pauli)
+
+
+def _compose_pauli(a: dict[str, float], b: dict[str, float]) -> dict[str, float]:
+    """Compose two Pauli channels (Pauli labels multiply up to phase)."""
+    mult = {
+        ("I", "I"): "I", ("I", "X"): "X", ("I", "Y"): "Y", ("I", "Z"): "Z",
+        ("X", "I"): "X", ("X", "X"): "I", ("X", "Y"): "Z", ("X", "Z"): "Y",
+        ("Y", "I"): "Y", ("Y", "X"): "Z", ("Y", "Y"): "I", ("Y", "Z"): "X",
+        ("Z", "I"): "Z", ("Z", "X"): "Y", ("Z", "Y"): "X", ("Z", "Z"): "I",
+    }
+    out: dict[str, float] = {}
+    for la, pa in a.items():
+        for lb, pb in b.items():
+            label = "".join(mult[(x, y)] for x, y in zip(la, lb))
+            out[label] = out.get(label, 0.0) + pa * pb
+    return out
+
+
+def pauli_error(probs: dict[str, float]) -> QuantumError:
+    """Pauli channel from ``{label: probability}`` (must sum to 1)."""
+    if not probs:
+        raise ValueError("probs must be non-empty")
+    widths = {len(label) for label in probs}
+    if len(widths) != 1:
+        raise ValueError(f"inconsistent Pauli label widths: {widths}")
+    num_qubits = widths.pop()
+    total = sum(probs.values())
+    if not math.isclose(total, 1.0, abs_tol=1e-8):
+        raise ValueError(f"probabilities sum to {total}, expected 1")
+    kraus = [
+        math.sqrt(p) * pauli_string_matrix(label)
+        for label, p in probs.items()
+        if p > 0
+    ]
+    return QuantumError(kraus, num_qubits, dict(probs))
+
+
+def depolarizing_error(param: float, num_qubits: int) -> QuantumError:
+    """Depolarizing channel with error parameter ``param`` in [0, 1].
+
+    With probability ``param`` the state is replaced by the maximally mixed
+    state, implemented as the uniform non-identity Pauli channel.
+    """
+    if not 0.0 <= param <= 1.0:
+        raise ValueError(f"param must be in [0, 1], got {param}")
+    dim = 4**num_qubits
+    labels = ["".join(p) for p in itertools.product("IXYZ", repeat=num_qubits)]
+    p_each = param / dim
+    probs = {label: p_each for label in labels}
+    probs["I" * num_qubits] = 1.0 - param + p_each
+    return pauli_error(probs)
+
+
+def amplitude_damping_error(gamma: float) -> QuantumError:
+    """Single-qubit amplitude damping (T1 decay) with rate ``gamma``."""
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex)
+    return QuantumError([k0, k1], 1)
+
+
+def phase_damping_error(lam: float) -> QuantumError:
+    """Single-qubit phase damping (pure dephasing) with rate ``lam``."""
+    if not 0.0 <= lam <= 1.0:
+        raise ValueError(f"lambda must be in [0, 1], got {lam}")
+    # Phase damping is the Pauli-Z channel with p_z = (1 - sqrt(1-lam)) / 2.
+    p_z = (1.0 - math.sqrt(1.0 - lam)) / 2.0
+    return pauli_error({"I": 1.0 - p_z, "Z": p_z})
+
+
+def thermal_relaxation_error(t1: float, t2: float, gate_time: float) -> QuantumError:
+    """Thermal relaxation during ``gate_time`` with times ``t1`` and ``t2``.
+
+    Assumes excited-state population 0 (cold device).  ``t2 <= 2 * t1`` is
+    required, as physically.  Returns amplitude damping composed with the
+    residual pure dephasing.
+    """
+    if t1 <= 0 or t2 <= 0:
+        raise ValueError("t1 and t2 must be positive")
+    if t2 > 2 * t1 + 1e-12:
+        raise ValueError(f"t2={t2} exceeds physical limit 2*t1={2 * t1}")
+    if gate_time < 0:
+        raise ValueError(f"gate_time must be non-negative, got {gate_time}")
+    gamma = 1.0 - math.exp(-gate_time / t1)
+    # Total dephasing exp(-t/T2) = exp(-t/(2 T1)) * sqrt(1 - lam_phi); the
+    # exponents are combined before exponentiating to avoid underflow for
+    # long gate times.
+    ratio = math.exp(gate_time * (1.0 / (2.0 * t1) - 1.0 / t2))
+    lam_phi = max(0.0, 1.0 - ratio**2)
+    return amplitude_damping_error(gamma).compose(phase_damping_error(lam_phi))
+
+
+@dataclass
+class ReadoutError:
+    """Measurement assignment error for one qubit.
+
+    ``p01`` is P(read 1 | prepared 0); ``p10`` is P(read 0 | prepared 1).
+    """
+
+    p01: float
+    p10: float
+
+    def __post_init__(self) -> None:
+        for name, p in (("p01", self.p01), ("p10", self.p10)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+
+    @property
+    def confusion_matrix(self) -> np.ndarray:
+        """2x2 matrix ``M[observed, true]``."""
+        return np.array(
+            [[1 - self.p01, self.p10], [self.p01, 1 - self.p10]], dtype=float
+        )
+
+
+@dataclass
+class NoiseModel:
+    """Gate-level noise description.
+
+    Errors attach by gate name (for all qubits) or by (name, qubits) pair;
+    specific-qubit entries take precedence.  Readout errors attach per qubit.
+    """
+
+    _all_qubit_errors: dict[str, list[QuantumError]] = field(default_factory=dict)
+    _local_errors: dict[tuple[str, tuple[int, ...]], list[QuantumError]] = field(
+        default_factory=dict
+    )
+    _readout_errors: dict[int, ReadoutError] = field(default_factory=dict)
+
+    def add_all_qubit_quantum_error(
+        self, error: QuantumError, gate_names: str | Iterable[str]
+    ) -> None:
+        """Attach ``error`` after every occurrence of the named gates."""
+        if isinstance(gate_names, str):
+            gate_names = [gate_names]
+        for name in gate_names:
+            self._all_qubit_errors.setdefault(name, []).append(error)
+
+    def add_quantum_error(
+        self, error: QuantumError, gate_name: str, qubits: Sequence[int]
+    ) -> None:
+        """Attach ``error`` after ``gate_name`` on the specific ``qubits``."""
+        key = (gate_name, tuple(int(q) for q in qubits))
+        self._local_errors.setdefault(key, []).append(error)
+
+    def add_readout_error(self, error: ReadoutError, qubit: int) -> None:
+        self._readout_errors[int(qubit)] = error
+
+    def errors_for(self, inst: Instruction) -> list[QuantumError]:
+        """Channels to apply after ``inst`` (local entries override global)."""
+        local = self._local_errors.get((inst.name, inst.qubits))
+        if local is not None:
+            return list(local)
+        return list(self._all_qubit_errors.get(inst.name, []))
+
+    def readout_error(self, qubit: int) -> ReadoutError | None:
+        return self._readout_errors.get(qubit)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the model contains no errors at all."""
+        return not (self._all_qubit_errors or self._local_errors or self._readout_errors)
+
+    def noisy_gate_names(self) -> set[str]:
+        names = set(self._all_qubit_errors)
+        names.update(name for name, _ in self._local_errors)
+        return names
+
+    def apply_readout_to_probs(self, probs: np.ndarray, num_qubits: int) -> np.ndarray:
+        """Push basis-state probabilities through the readout confusion maps.
+
+        Applies each qubit's 2x2 confusion matrix as a stochastic map on the
+        probability vector; qubits without readout error are untouched.
+        """
+        probs = np.asarray(probs, dtype=float)
+        if probs.shape != (2**num_qubits,):
+            raise ValueError(f"probs must have shape ({2**num_qubits},)")
+        if not self._readout_errors:
+            return probs.copy()
+        tensor = probs.reshape((2,) * num_qubits)
+        for qubit, error in self._readout_errors.items():
+            if qubit >= num_qubits:
+                continue
+            axis = num_qubits - 1 - qubit
+            tensor = np.moveaxis(
+                np.tensordot(error.confusion_matrix, tensor, axes=([1], [axis])),
+                0,
+                axis,
+            )
+        return np.ascontiguousarray(tensor).reshape(-1)

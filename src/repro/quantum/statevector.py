@@ -1,0 +1,84 @@
+"""Ideal statevector simulation.
+
+:class:`StatevectorSimulator` walks a :class:`~repro.quantum.circuit.
+QuantumCircuit` gate by gate.  It supports expectation values of diagonal
+observables (all QAOA-for-MaxCut observables are diagonal) and shot
+sampling.  Complexity is ``O(len(circuit) * 2**n)`` time, ``O(2**n)`` space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum._kernels import apply_matrix
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.gates import gate_matrix
+from repro.utils.rng import as_generator
+
+__all__ = ["StatevectorSimulator"]
+
+
+class StatevectorSimulator:
+    """Exact pure-state simulator.
+
+    Parameters
+    ----------
+    max_qubits:
+        Safety limit; running a wider circuit raises ``ValueError`` instead
+        of silently allocating ``2**n`` amplitudes.
+    """
+
+    def __init__(self, max_qubits: int = 24) -> None:
+        self.max_qubits = max_qubits
+
+    def run(self, circuit: QuantumCircuit, initial_state: np.ndarray | None = None) -> np.ndarray:
+        """Final statevector after applying ``circuit``.
+
+        ``initial_state`` defaults to ``|0...0>`` and must be a normalized
+        flat complex array of length ``2**num_qubits`` when given.
+        """
+        n = circuit.num_qubits
+        if n > self.max_qubits:
+            raise ValueError(f"circuit has {n} qubits, exceeding max_qubits={self.max_qubits}")
+        dim = 2**n
+        if initial_state is None:
+            state = np.zeros(dim, dtype=complex)
+            state[0] = 1.0
+        else:
+            state = np.asarray(initial_state, dtype=complex)
+            if state.shape != (dim,):
+                raise ValueError(f"initial_state must have shape ({dim},), got {state.shape}")
+            state = state.copy()
+        for inst in circuit:
+            matrix = gate_matrix(inst.name, inst.params)
+            state = apply_matrix(state, matrix, inst.qubits, n)
+        return state
+
+    def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Measurement probabilities over the computational basis."""
+        state = self.run(circuit)
+        return np.abs(state) ** 2
+
+    def expectation_diagonal(self, circuit: QuantumCircuit, diagonal: np.ndarray) -> float:
+        """Expectation of a diagonal observable ``diag(diagonal)``."""
+        probs = self.probabilities(circuit)
+        diagonal = np.asarray(diagonal, dtype=float)
+        if diagonal.shape != probs.shape:
+            raise ValueError(f"diagonal shape {diagonal.shape} != state dim {probs.shape}")
+        return float(probs @ diagonal)
+
+    def sample_counts(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> dict[int, int]:
+        """Sample ``shots`` basis-state outcomes; returns {basis index: count}."""
+        if shots < 1:
+            raise ValueError(f"shots must be >= 1, got {shots}")
+        probs = self.probabilities(circuit)
+        probs = probs / probs.sum()
+        rng = as_generator(seed)
+        outcomes = rng.choice(len(probs), size=shots, p=probs)
+        values, counts = np.unique(outcomes, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}

@@ -1,0 +1,92 @@
+"""Plain-text circuit rendering.
+
+:func:`draw` renders a :class:`~repro.quantum.circuit.QuantumCircuit` as an
+ASCII diagram, one row per qubit, one column per dependency layer:
+
+>>> from repro.quantum.circuit import QuantumCircuit
+>>> qc = QuantumCircuit(2)
+>>> qc.h(0)
+>>> qc.cx(0, 1)
+>>> print(draw(qc))
+q0: -[H]----*---
+q1: -------[X]--
+"""
+
+from __future__ import annotations
+
+from repro.quantum.circuit import Instruction, QuantumCircuit
+
+__all__ = ["draw"]
+
+_MAX_COLUMNS = 80
+
+
+def _cell(inst: Instruction, qubit: int) -> str:
+    """The symbol drawn on ``qubit``'s wire for ``inst``."""
+    name = inst.name
+    if name == "cx":
+        return "*" if qubit == inst.qubits[0] else "[X]"
+    if name == "cz":
+        return "*" if qubit == inst.qubits[0] else "[Z]"
+    if name == "swap":
+        return "x"
+    if name == "rzz":
+        return f"[ZZ({inst.params[0]:.2f})]"
+    if inst.params:
+        args = ",".join(f"{p:.2f}" for p in inst.params)
+        return f"[{name.upper()}({args})]"
+    return f"[{name.upper()}]"
+
+
+def draw(circuit: QuantumCircuit, max_columns: int = _MAX_COLUMNS) -> str:
+    """ASCII rendering of ``circuit``; long circuits wrap at ``max_columns``.
+
+    Layers follow the same dependency rule as ``circuit.depth()``: gates
+    sharing a qubit land in consecutive columns, independent gates share
+    one.
+    """
+    n = circuit.num_qubits
+    levels = [0] * n
+    columns: list[dict[int, str]] = []
+    for inst in circuit:
+        level = max(levels[q] for q in inst.qubits)
+        while len(columns) <= level:
+            columns.append({})
+        for q in inst.qubits:
+            columns[level][q] = _cell(inst, q)
+            levels[q] = level + 1
+
+    if not columns:
+        return "\n".join(f"q{q}: -" for q in range(n))
+
+    widths = [max(len(text) for text in col.values()) for col in columns]
+    rows = []
+    for q in range(n):
+        cells = [
+            col.get(q, "").center(width, "-")
+            for col, width in zip(columns, widths)
+        ]
+        rows.append(f"q{q}: -" + "--".join(cells) + "-")
+
+    # Wrap wide diagrams into banks of columns.
+    if all(len(row) <= max_columns for row in rows):
+        return "\n".join(rows)
+    banks: list[list[str]] = []
+    start = 0
+    while start < len(columns):
+        stop = start
+        width_budget = 6  # prefix allowance
+        while stop < len(columns) and width_budget + widths[stop] + 2 <= max_columns:
+            width_budget += widths[stop] + 2
+            stop += 1
+        stop = max(stop, start + 1)
+        bank_rows = []
+        for q in range(n):
+            cells = [
+                col.get(q, "").center(width, "-")
+                for col, width in zip(columns[start:stop], widths[start:stop])
+            ]
+            bank_rows.append(f"q{q}: -" + "--".join(cells) + "-")
+        banks.append(bank_rows)
+        start = stop
+    return "\n\n".join("\n".join(bank) for bank in banks)

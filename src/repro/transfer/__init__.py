@@ -1,0 +1,24 @@
+"""Parameter transfer: the prior-work baseline and warm-start lookup.
+
+``parameter_transfer`` implements the random-regular-donor baseline the
+paper compares against (Secs. 5.6, 6.6, 7.1); ``lookup`` implements the
+complementary warm-start library Sec. 7.2 discusses.
+"""
+
+from repro.transfer.lookup import ParameterLookup
+from repro.transfer.parameter_transfer import (
+    four_ary_tree_graph,
+    perturb_graph,
+    random_regular_donor,
+    star_graph,
+    transfer_landscape_mse,
+)
+
+__all__ = [
+    "ParameterLookup",
+    "four_ary_tree_graph",
+    "perturb_graph",
+    "random_regular_donor",
+    "star_graph",
+    "transfer_landscape_mse",
+]

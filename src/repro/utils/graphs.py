@@ -1,0 +1,204 @@
+"""Graph helpers shared by the reduction core, datasets, and analyses.
+
+All public functions operate on :class:`networkx.Graph` instances with
+hashable node labels.  Functions that hand graphs to the quantum layer first
+relabel nodes to ``0..n-1`` (see :func:`relabel_to_range`) because qubits are
+indexed by position.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "average_node_degree",
+    "connected_random_subgraph",
+    "edge_list",
+    "ensure_graph",
+    "is_connected_subset",
+    "neighbor_swap",
+    "relabel_to_range",
+    "nonisomorphic_connected_subgraphs",
+]
+
+
+def ensure_graph(graph: nx.Graph) -> nx.Graph:
+    """Validate that ``graph`` is a simple undirected graph with >= 1 node.
+
+    Raises ``TypeError`` for directed/multi graphs and ``ValueError`` for
+    empty graphs; returns the graph unchanged otherwise.
+    """
+    if not isinstance(graph, nx.Graph) or isinstance(graph, (nx.DiGraph, nx.MultiGraph)):
+        raise TypeError(f"expected an undirected simple networkx.Graph, got {type(graph).__name__}")
+    if graph.number_of_nodes() == 0:
+        raise ValueError("graph must contain at least one node")
+    return graph
+
+
+def average_node_degree(graph: nx.Graph) -> float:
+    """Average Node Degree (AND) of ``graph``: ``2|E| / |V|``.
+
+    This is the key similarity metric of Red-QAOA (paper Sec. 4.2): graphs
+    with close ANDs tend to share QAOA subgraph structure and therefore have
+    near-identical energy landscapes.
+    """
+    ensure_graph(graph)
+    n = graph.number_of_nodes()
+    return 2.0 * graph.number_of_edges() / n
+
+
+def edge_list(graph: nx.Graph) -> list[tuple[int, int]]:
+    """Edges of ``graph`` as ``(min, max)`` tuples, lexicographically sorted."""
+    return sorted((min(u, v), max(u, v)) for u, v in graph.edges())
+
+
+def relabel_to_range(graph: nx.Graph) -> nx.Graph:
+    """Return a copy of ``graph`` with nodes relabeled to ``0..n-1``.
+
+    Labels are assigned in sorted order of the original labels when the
+    labels are sortable, and in iteration order otherwise, so the mapping is
+    deterministic for a given graph.
+    """
+    ensure_graph(graph)
+    try:
+        ordered = sorted(graph.nodes())
+    except TypeError:
+        ordered = list(graph.nodes())
+    mapping = {node: index for index, node in enumerate(ordered)}
+    return nx.relabel_nodes(graph, mapping)
+
+
+def is_connected_subset(graph: nx.Graph, nodes: Iterable) -> bool:
+    """Whether ``nodes`` induce a connected subgraph of ``graph``."""
+    nodes = set(nodes)
+    if not nodes:
+        return False
+    if not nodes.issubset(graph.nodes()):
+        raise ValueError("nodes must all belong to the graph")
+    return nx.is_connected(graph.subgraph(nodes))
+
+
+def connected_random_subgraph(
+    graph: nx.Graph,
+    size: int,
+    seed: int | np.random.Generator | None = None,
+) -> set:
+    """Sample a connected induced subgraph of ``graph`` with ``size`` nodes.
+
+    Uses a randomized BFS-style expansion: start from a random node and
+    repeatedly absorb a random frontier node until ``size`` nodes are chosen.
+    Matches ``RandomSubgraph`` from Algorithm 1 in the paper.
+
+    Returns the node set; use ``graph.subgraph(result)`` for the graph view.
+    Raises ``ValueError`` when ``size`` is out of range or when the graph has
+    no connected component of at least ``size`` nodes.
+    """
+    ensure_graph(graph)
+    if not 1 <= size <= graph.number_of_nodes():
+        raise ValueError(
+            f"size must be within [1, {graph.number_of_nodes()}], got {size}"
+        )
+    rng = as_generator(seed)
+    components = [c for c in nx.connected_components(graph) if len(c) >= size]
+    if not components:
+        raise ValueError(f"graph has no connected component with >= {size} nodes")
+    component = components[int(rng.integers(len(components)))]
+    start = _choice(rng, sorted(component))
+    chosen = {start}
+    frontier = set(graph.neighbors(start)) & component
+    while len(chosen) < size:
+        candidates = sorted(frontier - chosen)
+        nxt = _choice(rng, candidates)
+        chosen.add(nxt)
+        frontier |= set(graph.neighbors(nxt))
+    return chosen
+
+
+def neighbor_swap(
+    graph: nx.Graph,
+    nodes: set,
+    seed: int | np.random.Generator | None = None,
+    max_attempts: int = 200,
+) -> set:
+    """One SA move: swap a subgraph node for an outside node (Algorithm 1).
+
+    Picks a random node inside ``nodes`` and a random node outside with at
+    least one edge into the remaining subgraph, so connectivity is preserved.
+    Falls back to returning ``nodes`` unchanged when no connectivity-
+    preserving swap exists within ``max_attempts`` random trials.
+    """
+    ensure_graph(graph)
+    nodes = set(nodes)
+    outside = sorted(set(graph.nodes()) - nodes)
+    if not outside or not nodes:
+        return set(nodes)
+    rng = as_generator(seed)
+    inside = sorted(nodes)
+    for _ in range(max_attempts):
+        removed = _choice(rng, inside)
+        kept = nodes - {removed}
+        candidates = [v for v in outside if any(u in kept for u in graph.neighbors(v))]
+        if not candidates:
+            continue
+        added = _choice(rng, candidates)
+        candidate = kept | {added}
+        if len(candidate) == 1 or nx.is_connected(graph.subgraph(candidate)):
+            return candidate
+    return set(nodes)
+
+
+def nonisomorphic_connected_subgraphs(
+    graph: nx.Graph,
+    size: int,
+    max_count: int | None = None,
+) -> list[nx.Graph]:
+    """All non-isomorphic connected induced subgraphs of ``graph`` of ``size``.
+
+    Used by the Fig. 5 / Fig. 9 experiments, which enumerate every unique
+    subgraph shape of a small graph.  Enumeration is exponential; guard large
+    inputs with ``max_count`` (enumeration stops once reached).
+    """
+    ensure_graph(graph)
+    if not 1 <= size <= graph.number_of_nodes():
+        raise ValueError(f"size out of range: {size}")
+    found: list[nx.Graph] = []
+    seen_sets: set[frozenset] = set()
+    # Enumerate connected node subsets via DFS expansion from each node.
+    nodes = sorted(graph.nodes())
+    for root in nodes:
+        stack = [(frozenset([root]), frozenset(graph.neighbors(root)))]
+        while stack:
+            chosen, frontier = stack.pop()
+            if len(chosen) == size:
+                if chosen in seen_sets:
+                    continue
+                seen_sets.add(chosen)
+                candidate = graph.subgraph(chosen)
+                if not any(nx.is_isomorphic(candidate, g) for g in found):
+                    found.append(nx.Graph(candidate))
+                    if max_count is not None and len(found) >= max_count:
+                        return found
+                continue
+            for v in sorted(frontier):
+                if v <= root and v not in chosen:
+                    # Keep subsets rooted at their minimum node to avoid
+                    # re-enumerating the same set from multiple roots.
+                    continue
+                new_chosen = chosen | {v}
+                if len(new_chosen) > size:
+                    continue
+                new_frontier = (frontier | frozenset(graph.neighbors(v))) - new_chosen
+                stack.append((new_chosen, new_frontier))
+    return found
+
+
+def _choice(rng: np.random.Generator, items: Sequence):
+    """Uniform choice from a non-empty sequence using ``rng``."""
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    return items[int(rng.integers(len(items)))]

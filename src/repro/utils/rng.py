@@ -1,0 +1,46 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts a ``seed`` argument that
+may be ``None`` (fresh entropy), an ``int`` (reproducible), or an existing
+:class:`numpy.random.Generator` (shared stream).  :func:`as_generator`
+normalizes all three into a ``Generator`` so downstream code never has to
+branch on the type of its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn"]
+
+
+def as_generator(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an integer for a reproducible stream, or an
+        existing generator which is returned unchanged (so callers can share
+        one stream across components).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Children are derived through ``Generator.spawn`` when available (NumPy
+    >= 1.25) and through integer re-seeding otherwise.  Independent children
+    let parallel experiment arms draw from decorrelated streams while the
+    parent seed still pins the whole experiment.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    try:
+        return list(rng.spawn(count))
+    except AttributeError:  # pragma: no cover - old numpy fallback
+        seeds = rng.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,128 @@
+"""Tests for repro.analysis (metrics, runtime, throughput)."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import mean_squared_error, paired_summary, relative_improvement
+from repro.analysis.runtime import (
+    RuntimeModel,
+    fit_nlogn,
+    measure_preprocessing_times,
+    per_circuit_execution_time,
+)
+from repro.analysis.throughput import (
+    circuit_execution_time,
+    device_capacity,
+    relative_throughput,
+)
+from repro.quantum.backends import get_backend
+
+
+class TestMetrics:
+    def test_mse_zero_for_identical(self):
+        a = np.arange(10.0)
+        assert mean_squared_error(a, a) == 0.0
+
+    def test_mse_value(self):
+        assert mean_squared_error(np.zeros(4), np.full(4, 2.0)) == 4.0
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_squared_error(np.zeros(3), np.zeros(4))
+
+    def test_relative_improvement(self):
+        assert relative_improvement(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_improvement(9.0, 10.0) == pytest.approx(-0.1)
+
+    def test_relative_improvement_zero_baseline(self):
+        with pytest.raises(ValueError):
+            relative_improvement(1.0, 0.0)
+
+    def test_paired_summary(self):
+        summary = paired_summary([0.1, -0.05, 0.2, 0.15])
+        assert summary.minimum == -0.05
+        assert summary.maximum == 0.2
+        assert summary.fraction_positive == 0.75
+        assert summary.q1 <= summary.median <= summary.q3
+
+    def test_paired_summary_empty(self):
+        with pytest.raises(ValueError):
+            paired_summary([])
+
+
+class TestRuntime:
+    def test_measurements_positive(self):
+        times = measure_preprocessing_times([10, 20], seed=0)
+        assert all(t > 0 for _, t in times)
+        assert [n for n, _ in times] == [10, 20]
+
+    def test_fit_recovers_synthetic_nlogn(self):
+        a, b = 2e-5, 1e-3
+        data = [(n, a * n * math.log(n) + b) for n in (10, 50, 100, 400, 1000)]
+        model = fit_nlogn(data)
+        assert model.a == pytest.approx(a, rel=1e-6)
+        assert model.r_squared == pytest.approx(1.0)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_nlogn([(10, 0.1)])
+
+    def test_model_prediction_monotone(self):
+        model = RuntimeModel(a=1e-5, b=0.0, r_squared=1.0)
+        assert model.predict(100) < model.predict(1000)
+
+    def test_per_circuit_time_anchor(self):
+        """The paper's anchor: 10-node 1-layer QAOA ~ 4.2 s on sherbrooke."""
+        t = per_circuit_execution_time(10, p=1, shots=8192)
+        assert 2.0 < t < 8.0
+
+    def test_per_circuit_validation(self):
+        with pytest.raises(ValueError):
+            per_circuit_execution_time(0)
+
+
+class TestThroughput:
+    def test_capacity(self):
+        backend = get_backend("eagle_127")
+        assert device_capacity(backend, 10) == 12
+        assert device_capacity(backend, 127) == 1
+        assert device_capacity(backend, 200) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            device_capacity(get_backend("kolkata"), 0)
+
+    def test_execution_time_grows_with_density(self):
+        backend = get_backend("kolkata")
+        sparse = nx.cycle_graph(10)
+        dense = nx.complete_graph(10)
+        assert circuit_execution_time(backend, dense) > circuit_execution_time(backend, sparse)
+
+    def test_relative_throughput_reduced_wins(self):
+        backend = get_backend("hummingbird_65")
+        pairs = []
+        for seed in range(5):
+            g = nx.erdos_renyi_graph(10, 0.4, seed=seed)
+            reduced = nx.erdos_renyi_graph(7, 0.4, seed=seed + 100)
+            pairs.append((g, reduced))
+        report = relative_throughput(backend, pairs, "test")
+        assert report.relative > 1.0
+
+    def test_relative_throughput_identity_pairs(self):
+        backend = get_backend("kolkata")
+        g = nx.cycle_graph(9)
+        report = relative_throughput(backend, [(g, g)])
+        assert report.relative == pytest.approx(1.0)
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            relative_throughput(get_backend("kolkata"), [])
+
+    def test_too_wide_originals_rejected(self):
+        backend = get_backend("melbourne")  # 14 qubits
+        g = nx.cycle_graph(20)
+        with pytest.raises(ValueError):
+            relative_throughput(backend, [(g, nx.cycle_graph(5))])

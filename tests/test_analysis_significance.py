@@ -1,0 +1,81 @@
+"""Tests for repro.analysis.significance."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.significance import (
+    BootstrapInterval,
+    bootstrap_mean_ci,
+    paired_bootstrap_test,
+)
+
+
+class TestBootstrapCi:
+    def test_interval_brackets_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(5.0, 1.0, size=100)
+        interval = bootstrap_mean_ci(values, seed=0)
+        assert interval.low <= interval.mean <= interval.high
+        assert interval.contains(values.mean())
+
+    def test_interval_covers_true_mean_usually(self):
+        rng = np.random.default_rng(1)
+        covered = 0
+        for trial in range(20):
+            values = rng.normal(2.0, 1.0, size=60)
+            if bootstrap_mean_ci(values, seed=trial).contains(2.0):
+                covered += 1
+        assert covered >= 16  # ~95% nominal coverage
+
+    def test_narrower_with_more_data(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_mean_ci(rng.normal(0, 1, 20), seed=0)
+        large = bootstrap_mean_ci(rng.normal(0, 1, 2000), seed=0)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_constant_data_zero_width(self):
+        interval = bootstrap_mean_ci([3.0] * 10, seed=0)
+        assert interval.low == interval.high == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], resamples=10)
+
+
+class TestPairedBootstrap:
+    def test_clear_winner(self):
+        rng = np.random.default_rng(0)
+        baseline = rng.normal(0.0, 0.1, size=40)
+        candidate = baseline + 1.0
+        assert paired_bootstrap_test(candidate, baseline, seed=0) == 1.0
+
+    def test_clear_loser(self):
+        rng = np.random.default_rng(1)
+        baseline = rng.normal(0.0, 0.1, size=40)
+        assert paired_bootstrap_test(baseline - 1.0, baseline, seed=0) == 0.0
+
+    def test_coin_flip_near_half(self):
+        rng = np.random.default_rng(2)
+        baseline = rng.normal(0.0, 1.0, size=200)
+        candidate = baseline + rng.normal(0.0, 1.0, size=200) * 0.01
+        p = paired_bootstrap_test(candidate, baseline, seed=0)
+        assert 0.1 < p < 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_test([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap_test([], [])
+
+    def test_red_qaoa_style_usage(self):
+        """The intended use: per-instance MSE pairs from a Fig. 10 run."""
+        baseline_mse = [0.031, 0.045, 0.038, 0.052, 0.047, 0.036, 0.049, 0.058]
+        red_mse = [0.022, 0.038, 0.031, 0.035, 0.049, 0.028, 0.033, 0.041]
+        p = paired_bootstrap_test(
+            [-m for m in red_mse], [-m for m in baseline_mse], seed=0
+        )
+        assert p > 0.9  # lower MSE -> higher negated value -> candidate wins

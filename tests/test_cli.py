@@ -1,0 +1,66 @@
+"""Tests for the repro.cli artifact-style entry points."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestMseNoisy:
+    def test_runs_and_reports(self, capsys):
+        code = main([
+            "mse-noisy", "-n", "7", "--width", "6", "--shots", "256",
+            "--trajectories", "2", "--seed", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MSE noisy baseline" in out
+        assert "MSE noisy Red-QAOA" in out
+
+    def test_device_selection(self, capsys):
+        code = main([
+            "mse-noisy", "-n", "6", "--width", "5", "--shots", "128",
+            "--trajectories", "2", "--device", "kolkata",
+        ])
+        assert code == 0
+        assert "kolkata" in capsys.readouterr().out
+
+
+class TestMseIdeal:
+    def test_aids(self, capsys):
+        code = main([
+            "mse-ideal", "--graph-set", "aids", "--num-graphs", "3",
+            "--p", "1", "--num-points", "64",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "node reduction" in out
+        assert "mean MSE" in out
+
+    def test_p2(self, capsys):
+        code = main([
+            "mse-ideal", "--graph-set", "linux", "--num-graphs", "2",
+            "--p", "2", "--num-points", "32", "--min-nodes", "6",
+        ])
+        assert code == 0
+
+
+class TestEndToEnd:
+    def test_reports_ratios(self, capsys):
+        code = main([
+            "end-to-end", "--p", "1", "--num-graphs", "2", "--num-nodes", "8",
+            "--restarts", "2", "--maxiter", "15",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "best result" in out
+        assert "average result" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])

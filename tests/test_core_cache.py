@@ -1,0 +1,115 @@
+"""Tests for repro.core.cache (cross-instance reduction reuse)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.cache import ReductionCache
+from repro.core.reduction import GraphReducer
+from repro.qaoa.landscape import compute_landscape, landscape_mse
+
+
+def _connected_er(n, p, seed):
+    offset = 0
+    while True:
+        g = nx.erdos_renyi_graph(n, p, seed=seed + offset)
+        if g.number_of_edges() and nx.is_connected(g):
+            return g
+        offset += 100
+
+
+class TestBasics:
+    def test_first_call_misses_and_banks(self):
+        cache = ReductionCache(reducer=GraphReducer(seed=0))
+        graph = _connected_er(10, 0.45, 0)
+        reduced, hit = cache.reduce(graph)
+        assert not hit
+        assert cache.misses == 1
+        assert cache.size == 1
+        assert reduced.number_of_nodes() < 10
+
+    def test_similar_instance_hits(self):
+        cache = ReductionCache(reducer=GraphReducer(seed=0))
+        base = _connected_er(10, 0.45, 0)
+        cache.reduce(base)
+        # The paper's 10-vs-11-node scenario: one extra node with a typical
+        # number of edges barely moves the AND, so the banked graph applies.
+        similar = nx.Graph(base)
+        similar.add_edges_from([(10, 0), (10, 1), (10, 2)])
+        reduced, hit = cache.reduce(similar)
+        assert hit
+        assert cache.hits == 1
+        assert reduced.number_of_nodes() < similar.number_of_nodes()
+
+    def test_dissimilar_instance_misses(self):
+        cache = ReductionCache(reducer=GraphReducer(seed=0))
+        sparse = nx.cycle_graph(10)  # AND = 2
+        cache.reduce(sparse)
+        dense = nx.complete_graph(10)  # AND = 9
+        _, hit = cache.reduce(dense)
+        assert not hit
+
+    def test_lookup_never_returns_equal_or_larger_graph(self):
+        cache = ReductionCache(reducer=GraphReducer(seed=0))
+        graph = _connected_er(10, 0.45, 2)
+        cache.reduce(graph)
+        small = _connected_er(5, 0.6, 3)
+        entry = cache.lookup(small)
+        if entry is not None:
+            assert entry.graph.number_of_nodes() < 5
+
+    def test_eviction(self):
+        cache = ReductionCache(reducer=GraphReducer(seed=0), max_entries=2)
+        for seed in range(4):
+            # Alternate densities to force misses.
+            p = 0.3 if seed % 2 == 0 else 0.8
+            cache.reduce(_connected_er(9 + seed, p, seed))
+        assert cache.size <= 2
+
+    def test_hit_rate_accounting(self):
+        cache = ReductionCache(reducer=GraphReducer(seed=0))
+        assert cache.hit_rate == 0.0
+        cache.reduce(_connected_er(10, 0.45, 4))
+        cache.reduce(_connected_er(10, 0.45, 5))
+        assert cache.hits + cache.misses == 2
+        assert 0.0 <= cache.hit_rate <= 1.0
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            ReductionCache(max_entries=0)
+
+    def test_returned_graph_is_a_copy(self):
+        cache = ReductionCache(reducer=GraphReducer(seed=0))
+        graph = _connected_er(10, 0.45, 6)
+        cache.reduce(graph)
+        reused, hit = cache.reduce(_connected_er(11, 0.45, 7))
+        reused.add_edge(0, reused.number_of_nodes())
+        # Mutating the returned graph must not corrupt the bank.
+        again, _ = cache.reduce(_connected_er(11, 0.45, 8))
+        assert again.number_of_nodes() <= 11
+
+
+class TestLandscapeQualityOfHits:
+    def test_cache_hit_landscape_close_to_query(self):
+        """The Sec. 6.1 claim: a banked reduced graph with matching AND has
+        a landscape close to the *new* instance's."""
+        cache = ReductionCache(reducer=GraphReducer(seed=0))
+        base = _connected_er(10, 0.45, 10)
+        cache.reduce(base)
+        mses = []
+        for seed in (11, 12, 13):
+            query = _connected_er(11, 0.45, seed)
+            reduced, hit = cache.reduce(query)
+            if not hit:
+                continue
+            reference = compute_landscape(query, width=12).values
+            candidate = compute_landscape(reduced, width=12).values
+            mses.append(landscape_mse(reference, candidate))
+        if mses:
+            assert np.mean(mses) < 0.08
+
+    def test_stream_of_similar_instances_mostly_hits(self):
+        cache = ReductionCache(reducer=GraphReducer(seed=0))
+        for seed in range(8):
+            cache.reduce(_connected_er(10 + seed % 3, 0.45, 20 + seed))
+        assert cache.hit_rate >= 0.5

@@ -1,0 +1,72 @@
+"""Tests for repro.core.equivalence."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.equivalence import (
+    and_ratio,
+    fit_polynomial,
+    subgraph_and_mse_study,
+    AndMseSample,
+)
+
+
+class TestAndRatio:
+    def test_identity(self):
+        g = nx.cycle_graph(6)
+        assert and_ratio(g, g) == 1.0
+
+    def test_subgraph_lower(self):
+        g = nx.complete_graph(6)
+        sub = nx.complete_graph(3)
+        assert and_ratio(g, sub) == pytest.approx(2 / 5)
+
+    def test_edgeless_original_rejected(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        with pytest.raises(ValueError):
+            and_ratio(g, nx.path_graph(2))
+
+
+class TestStudy:
+    def test_samples_have_valid_fields(self):
+        g = nx.erdos_renyi_graph(7, 0.5, seed=1)
+        while not (g.number_of_edges() and nx.is_connected(g)):
+            g = nx.erdos_renyi_graph(7, 0.5, seed=2)
+        samples = subgraph_and_mse_study(g, min_size=3, max_subgraphs_per_size=5, width=8)
+        assert samples
+        for s in samples:
+            assert 0 < s.and_ratio <= 1.5
+            assert 0 <= s.mse <= 1.0
+            assert 3 <= s.num_nodes < 7
+
+    def test_correlation_direction(self):
+        """Fig. 5's claim: AND ratios near 1 give lower MSE on average."""
+        g = nx.erdos_renyi_graph(8, 0.5, seed=3)
+        while not (g.number_of_edges() and nx.is_connected(g)):
+            g = nx.erdos_renyi_graph(8, 0.5, seed=4)
+        samples = subgraph_and_mse_study(g, min_size=3, max_subgraphs_per_size=10, width=8)
+        close = [s.mse for s in samples if s.and_ratio >= 0.8]
+        far = [s.mse for s in samples if s.and_ratio < 0.6]
+        if close and far:
+            assert np.mean(close) <= np.mean(far)
+
+
+class TestFit:
+    def test_polynomial_fit_degree(self):
+        rng = np.random.default_rng(0)
+        samples = [
+            AndMseSample(5, 6, x, 0.1 * (1 - x) ** 2 + 0.001 * rng.random())
+            for x in rng.uniform(0.2, 1.0, size=40)
+        ]
+        coeffs = fit_polynomial(samples, degree=6)
+        assert len(coeffs) == 7
+        # The fit should reproduce the underlying trend decently.
+        predicted = np.polyval(coeffs, 0.5)
+        assert predicted == pytest.approx(0.1 * 0.25, abs=0.02)
+
+    def test_insufficient_samples(self):
+        samples = [AndMseSample(3, 3, 0.5, 0.1)] * 3
+        with pytest.raises(ValueError):
+            fit_polynomial(samples, degree=6)

@@ -1,0 +1,102 @@
+"""Tests for repro.core.objective and repro.core.cooling."""
+
+import networkx as nx
+import pytest
+
+from repro.core.cooling import AdaptiveCooling, ConstantCooling
+from repro.core.objective import and_difference_objective, subgraph_and
+
+
+class TestSubgraphAnd:
+    def test_full_graph(self):
+        g = nx.cycle_graph(6)
+        assert subgraph_and(g, range(6)) == 2.0
+
+    def test_subset(self):
+        g = nx.cycle_graph(6)
+        # Three consecutive nodes of a cycle: path of 2 edges, AND = 4/3.
+        assert subgraph_and(g, {0, 1, 2}) == pytest.approx(4 / 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            subgraph_and(nx.path_graph(3), set())
+
+
+class TestObjective:
+    def test_perfect_match_is_zero(self):
+        g = nx.cycle_graph(8)
+        # Any sub-cycle... cycles have no proper sub-cycles; use whole graph.
+        assert and_difference_objective(g, range(8)) == 0.0
+
+    def test_deviation_positive(self):
+        g = nx.complete_graph(6)
+        assert and_difference_objective(g, {0, 1}) > 0
+
+    def test_target_override(self):
+        g = nx.path_graph(4)
+        value = and_difference_objective(g, {0, 1}, target_and=1.0)
+        assert value == pytest.approx(0.0)
+
+    def test_symmetric_in_sign(self):
+        g = nx.complete_graph(5)  # AND = 4
+        # Subgraph K3 has AND 2 -> objective 2.
+        assert and_difference_objective(g, {0, 1, 2}) == pytest.approx(2.0)
+
+
+class TestConstantCooling:
+    def test_geometric_decay(self):
+        schedule = ConstantCooling(alpha=0.9)
+        assert schedule.next_temperature(1.0, accepted=True) == pytest.approx(0.9)
+        assert schedule.next_temperature(0.9, accepted=False) == pytest.approx(0.81)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            ConstantCooling(alpha=1.0)
+        with pytest.raises(ValueError):
+            ConstantCooling(alpha=0.0)
+
+
+class TestAdaptiveCooling:
+    def test_accepting_cools_faster_than_rejecting(self):
+        fast = AdaptiveCooling()
+        slow = AdaptiveCooling()
+        t_fast = 1.0
+        t_slow = 1.0
+        for _ in range(10):
+            t_fast = fast.next_temperature(t_fast, accepted=True)
+            t_slow = slow.next_temperature(t_slow, accepted=False)
+        assert t_fast < t_slow
+
+    def test_reset_clears_history(self):
+        schedule = AdaptiveCooling(window=5)
+        for _ in range(5):
+            schedule.next_temperature(1.0, accepted=True)
+        schedule.reset()
+        # After reset, a single rejection gives the pure slow alpha.
+        t = schedule.next_temperature(1.0, accepted=False)
+        assert t == pytest.approx(schedule.slow_alpha)
+
+    def test_window_limits_memory(self):
+        schedule = AdaptiveCooling(window=2)
+        schedule.next_temperature(1.0, accepted=True)
+        schedule.next_temperature(1.0, accepted=True)
+        # Window of 2: two rejections fully flush the accepts.
+        schedule.next_temperature(1.0, accepted=False)
+        t = schedule.next_temperature(1.0, accepted=False)
+        assert t == pytest.approx(schedule.slow_alpha)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveCooling(slow_alpha=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveCooling(slow_alpha=0.9, fast_alpha=0.95)
+        with pytest.raises(ValueError):
+            AdaptiveCooling(window=0)
+
+    def test_temperature_always_decreases(self):
+        schedule = AdaptiveCooling()
+        t = 1.0
+        for step in range(20):
+            new_t = schedule.next_temperature(t, accepted=step % 3 == 0)
+            assert new_t < t
+            t = new_t

@@ -1,0 +1,149 @@
+"""Tests for repro.datasets."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    aids_like_graph,
+    dataset_stats,
+    imdb_like_graph,
+    linux_like_graph,
+    load_dataset,
+    random_connected_gnp,
+    random_graph_suite,
+)
+from repro.datasets.stats import is_regular
+from repro.utils.graphs import average_node_degree
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("gen", [aids_like_graph, linux_like_graph])
+    @pytest.mark.parametrize("n", [2, 5, 10])
+    def test_sparse_generators_sizes(self, gen, n):
+        g = gen(n, seed=0)
+        assert g.number_of_nodes() == n
+        assert nx.is_connected(g)
+
+    @pytest.mark.parametrize("n", [3, 6, 15, 40])
+    def test_imdb_sizes(self, n):
+        g = imdb_like_graph(n, seed=0)
+        assert g.number_of_nodes() == n
+        assert nx.is_connected(g)
+
+    def test_aids_is_sparse(self):
+        ands = [average_node_degree(aids_like_graph(8, seed=s)) for s in range(30)]
+        assert np.mean(ands) < 2.5
+
+    def test_linux_is_sparse(self):
+        ands = [average_node_degree(linux_like_graph(8, seed=s)) for s in range(30)]
+        assert np.mean(ands) < 3.0
+
+    def test_imdb_is_dense(self):
+        ands = [average_node_degree(imdb_like_graph(8, seed=s)) for s in range(30)]
+        assert np.mean(ands) > 4.0
+
+    def test_imdb_regular_fraction_near_paper(self):
+        """Sec. 7.1: ~54% of (small) IMDb graphs are regular."""
+        rng = np.random.default_rng(0)
+        graphs = [imdb_like_graph(int(rng.integers(5, 9)), seed=rng) for _ in range(200)]
+        fraction = np.mean([is_regular(g) for g in graphs])
+        assert 0.35 <= fraction <= 0.7
+
+    def test_sparse_generators_rarely_regular(self):
+        graphs = [linux_like_graph(8, seed=s) for s in range(50)]
+        assert np.mean([is_regular(g) for g in graphs]) < 0.1
+
+    def test_node_range_validation(self):
+        with pytest.raises(ValueError):
+            aids_like_graph(1)
+        with pytest.raises(ValueError):
+            imdb_like_graph(2)
+
+    def test_seeded_reproducibility(self):
+        a = aids_like_graph(8, seed=5)
+        b = aids_like_graph(8, seed=5)
+        assert set(a.edges()) == set(b.edges())
+
+
+class TestRandomGraphs:
+    def test_connected_gnp(self):
+        g = random_connected_gnp(10, 0.3, seed=0)
+        assert nx.is_connected(g)
+
+    def test_suite_counts_and_sizes(self):
+        graphs = random_graph_suite(count=10, min_nodes=7, max_nodes=20, seed=0)
+        assert len(graphs) == 10
+        for g in graphs:
+            assert 7 <= g.number_of_nodes() <= 20
+            assert nx.is_connected(g)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            random_connected_gnp(5, 0.0)
+
+    def test_impossible_connectivity_raises(self):
+        with pytest.raises(RuntimeError):
+            random_connected_gnp(50, 0.001, seed=0, max_attempts=3)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["aids", "linux", "imdb"])
+    def test_load_counts(self, name):
+        graphs = load_dataset(name, count=20, seed=0)
+        assert len(graphs) == 20
+
+    def test_node_range_filter(self):
+        graphs = load_dataset("imdb", count=30, min_nodes=10, max_nodes=20, seed=0)
+        for g in graphs:
+            assert 10 <= g.number_of_nodes() <= 20
+
+    def test_random_dataset(self):
+        graphs = load_dataset("random", count=5, seed=0)
+        assert len(graphs) == 5
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("proteins")
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("aids", count=5, min_nodes=20, max_nodes=30)
+
+    def test_table1_full_counts(self):
+        """The registry defaults reproduce Table 1's dataset sizes."""
+        assert len(load_dataset("aids", count=None, seed=0, max_nodes=4)) == 700
+
+    def test_dataset_names_constant(self):
+        assert set(DATASET_NAMES) == {"aids", "linux", "imdb", "random"}
+
+    def test_seeded_loading_reproducible(self):
+        a = load_dataset("linux", count=5, seed=3)
+        b = load_dataset("linux", count=5, seed=3)
+        for ga, gb in zip(a, b):
+            assert set(ga.edges()) == set(gb.edges())
+
+
+class TestStats:
+    def test_stats_fields(self):
+        graphs = load_dataset("aids", count=25, seed=0)
+        stats = dataset_stats("aids", graphs)
+        assert stats.num_graphs == 25
+        assert stats.min_nodes >= 2
+        assert stats.max_nodes <= 10
+        assert 0 <= stats.regular_fraction <= 1
+
+    def test_as_row_formatting(self):
+        graphs = load_dataset("linux", count=5, seed=0)
+        row = dataset_stats("linux", graphs).as_row()
+        assert "linux" in row and "graphs" in row
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_stats("x", [])
+
+    def test_is_regular(self):
+        assert is_regular(nx.cycle_graph(5))
+        assert is_regular(nx.complete_graph(4))
+        assert not is_regular(nx.path_graph(4))

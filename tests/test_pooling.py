@@ -1,0 +1,140 @@
+"""Tests for repro.pooling (features, GCN, and the three poolers)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.pooling import ASAPooling, SAGPooling, TopKPooling, get_pooler
+from repro.pooling.features import FEATURE_NAMES, node_feature_matrix
+from repro.pooling.gnn import GCN, normalized_adjacency
+
+ALL_POOLERS = [TopKPooling, SAGPooling, ASAPooling]
+
+
+def _connected_er(n, p, seed):
+    offset = 0
+    while True:
+        g = nx.erdos_renyi_graph(n, p, seed=seed + offset)
+        if g.number_of_edges() and nx.is_connected(g):
+            return g
+        offset += 100
+
+
+class TestFeatures:
+    def test_shape(self):
+        g = _connected_er(8, 0.4, 0)
+        feats = node_feature_matrix(g)
+        assert feats.shape == (8, len(FEATURE_NAMES))
+
+    def test_normalized_columns(self):
+        g = _connected_er(9, 0.4, 1)
+        feats = node_feature_matrix(g)
+        assert feats.min() >= 0.0
+        assert feats.max() <= 1.0
+
+    def test_hub_has_max_degree_feature(self):
+        g = nx.star_graph(5)
+        feats = node_feature_matrix(g)
+        assert feats[0, 0] == 1.0  # hub degree normalized to 1
+        assert (feats[1:, 0] == 0.0).all()
+
+    def test_single_edge_graph_no_crash(self):
+        feats = node_feature_matrix(nx.path_graph(2))
+        assert feats.shape == (2, 5)
+
+
+class TestGCN:
+    def test_normalized_adjacency_row_stochastic_ish(self):
+        g = nx.cycle_graph(4)
+        a_hat = normalized_adjacency(g)
+        # Symmetric normalization of a regular graph: rows sum to 1.
+        assert np.allclose(a_hat.sum(axis=1), 1.0)
+
+    def test_forward_shapes(self):
+        g = _connected_er(7, 0.5, 2)
+        gcn = GCN((5, 8, 1), seed=0)
+        out = gcn.forward(normalized_adjacency(g), node_feature_matrix(g))
+        assert out.shape == (7, 1)
+
+    def test_seeded_weights_reproducible(self):
+        a = GCN((5, 3), seed=1).weights[0]
+        b = GCN((5, 3), seed=1).weights[0]
+        assert np.array_equal(a, b)
+
+    def test_dims_validated(self):
+        with pytest.raises(ValueError):
+            GCN((5,))
+
+    def test_feature_dim_checked(self):
+        gcn = GCN((5, 1), seed=0)
+        with pytest.raises(ValueError):
+            gcn.forward(np.eye(3), np.zeros((3, 4)))
+
+
+class TestPoolers:
+    @pytest.mark.parametrize("pooler_cls", ALL_POOLERS)
+    def test_exact_size(self, pooler_cls):
+        g = _connected_er(10, 0.4, 3)
+        pooled = pooler_cls(seed=0).pool(g, 6)
+        assert pooled.number_of_nodes() == 6
+
+    @pytest.mark.parametrize("pooler_cls", ALL_POOLERS)
+    def test_relabeled_to_range(self, pooler_cls):
+        g = _connected_er(9, 0.5, 4)
+        pooled = pooler_cls(seed=0).pool(g, 5)
+        assert set(pooled.nodes()) == set(range(5))
+
+    @pytest.mark.parametrize("pooler_cls", ALL_POOLERS)
+    def test_size_validation(self, pooler_cls):
+        g = _connected_er(8, 0.5, 5)
+        with pytest.raises(ValueError):
+            pooler_cls(seed=0).pool(g, 0)
+        with pytest.raises(ValueError):
+            pooler_cls(seed=0).pool(g, 9)
+
+    @pytest.mark.parametrize("pooler_cls", ALL_POOLERS)
+    def test_deterministic_given_seed(self, pooler_cls):
+        g = _connected_er(10, 0.4, 6)
+        a = pooler_cls(seed=3).pool(g, 6)
+        b = pooler_cls(seed=3).pool(g, 6)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_topk_subgraph_edges_from_original(self):
+        g = _connected_er(10, 0.4, 7)
+        pooler = TopKPooling(seed=0)
+        scores = pooler.scores(g)
+        nodes = sorted(g.nodes())
+        keep = {nodes[i] for i in np.argsort(-scores)[:6]}
+        pooled = pooler.pool(g, 6)
+        assert pooled.number_of_edges() == g.subgraph(keep).number_of_edges()
+
+    def test_asa_can_densify(self):
+        """ASA's cluster connectivity usually yields denser pooled graphs
+        than the induced subgraph -- its characteristic failure mode."""
+        g = _connected_er(10, 0.35, 8)
+        asa_edges = ASAPooling(seed=0).pool(g, 6).number_of_edges()
+        topk_edges = TopKPooling(seed=0).pool(g, 6).number_of_edges()
+        assert asa_edges >= topk_edges
+
+    def test_pool_ratio(self):
+        g = _connected_er(10, 0.4, 9)
+        pooled = TopKPooling(seed=0).pool_ratio(g, 0.5)
+        assert pooled.number_of_nodes() == 5
+
+    def test_pool_ratio_validation(self):
+        g = _connected_er(8, 0.4, 10)
+        with pytest.raises(ValueError):
+            TopKPooling(seed=0).pool_ratio(g, 0.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("topk", TopKPooling), ("sag", SAGPooling), ("asa", ASAPooling)])
+    def test_lookup(self, name, cls):
+        assert isinstance(get_pooler(name), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(get_pooler("TopK"), TopKPooling)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_pooler("gnn")

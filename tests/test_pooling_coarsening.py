@@ -1,0 +1,97 @@
+"""Tests for repro.pooling.coarsening (heavy-edge matching)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pooling import HeavyEdgeCoarsening, get_pooler
+from repro.qaoa.hamiltonian import MaxCutHamiltonian
+
+
+def _connected_er(n, p, seed):
+    offset = 0
+    while True:
+        g = nx.erdos_renyi_graph(n, p, seed=seed + offset)
+        if g.number_of_edges() and nx.is_connected(g):
+            return g
+        offset += 100
+
+
+class TestCoarsening:
+    def test_target_size_reached(self):
+        g = _connected_er(12, 0.4, 0)
+        pooled = HeavyEdgeCoarsening(seed=0).pool(g, 7)
+        assert pooled.number_of_nodes() == 7
+
+    def test_single_contraction(self):
+        g = nx.path_graph(4)
+        pooled = HeavyEdgeCoarsening(seed=0).pool(g, 3)
+        assert pooled.number_of_nodes() == 3
+        assert nx.is_connected(pooled)
+
+    def test_weights_accumulate_on_triangle(self):
+        # Contracting one triangle edge merges the two remaining edges into
+        # a single weight-2 edge.
+        g = nx.cycle_graph(3)
+        pooled = HeavyEdgeCoarsening(seed=0).pool(g, 2)
+        assert pooled.number_of_nodes() == 2
+        assert pooled.number_of_edges() == 1
+        (w,) = [d["weight"] for _, _, d in pooled.edges(data=True)]
+        assert w == 2.0
+
+    def test_total_weight_conserved_minus_contracted(self):
+        g = _connected_er(10, 0.5, 1)
+        total_before = g.number_of_edges()  # unit weights
+        coarse = HeavyEdgeCoarsening(seed=1).pool(g, 7)
+        total_after = sum(d["weight"] for _, _, d in coarse.edges(data=True))
+        # Exactly the contracted (intra-super-node) edges disappear; on a
+        # simple graph each contraction removes at least 1, at most n edges.
+        assert total_after <= total_before
+        assert total_after >= total_before - 3 * (10 - 7)
+
+    def test_preserves_connectivity(self):
+        for seed in range(4):
+            g = _connected_er(11, 0.35, seed)
+            coarse = HeavyEdgeCoarsening(seed=seed).pool(g, 6)
+            assert nx.is_connected(coarse)
+
+    def test_result_usable_by_weighted_qaoa(self):
+        g = _connected_er(9, 0.45, 2)
+        coarse = HeavyEdgeCoarsening(seed=2).pool(g, 6)
+        ham = MaxCutHamiltonian(coarse)
+        assert ham.is_weighted or coarse.number_of_edges() == 0
+        assert ham.diagonal.max() > 0
+
+    def test_size_validation(self):
+        g = nx.path_graph(5)
+        with pytest.raises(ValueError):
+            HeavyEdgeCoarsening().pool(g, 0)
+        with pytest.raises(ValueError):
+            HeavyEdgeCoarsening().pool(g, 6)
+
+    def test_factory_registration(self):
+        assert isinstance(get_pooler("coarsen"), HeavyEdgeCoarsening)
+
+    def test_full_size_is_copy(self):
+        g = _connected_er(8, 0.5, 3)
+        same = HeavyEdgeCoarsening(seed=3).pool(g, 8)
+        assert same.number_of_nodes() == 8
+        assert same.number_of_edges() == g.number_of_edges()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**5),
+    shrink=st.integers(min_value=1, max_value=5),
+)
+def test_property_coarsening_invariants(seed, shrink):
+    """Connectivity and positive integer-ish weights hold for any input."""
+    g = _connected_er(8 + seed % 4, 0.45, seed)
+    target = max(2, g.number_of_nodes() - shrink)
+    coarse = HeavyEdgeCoarsening(seed=seed).pool(g, target)
+    assert coarse.number_of_nodes() == target
+    assert nx.is_connected(coarse) or coarse.number_of_edges() == 0
+    for _, _, d in coarse.edges(data=True):
+        assert d["weight"] >= 1.0

@@ -1,0 +1,89 @@
+"""Tests for repro.qaoa.analytic: the closed-form p=1 engine."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qaoa.analytic import maxcut_p1_edge_expectation, maxcut_p1_expectation
+from repro.qaoa.fast_sim import qaoa_expectation_fast
+from repro.qaoa.hamiltonian import MaxCutHamiltonian
+
+
+def _connected_er(n, p, seed):
+    offset = 0
+    while True:
+        g = nx.erdos_renyi_graph(n, p, seed=seed + offset)
+        if g.number_of_edges() and nx.is_connected(g):
+            return g
+        offset += 100
+
+
+class TestEdgeFormula:
+    def test_zero_parameters(self):
+        assert maxcut_p1_edge_expectation(0.0, 0.0, 2, 2, 0) == pytest.approx(0.5)
+
+    def test_isolated_edge_peak(self):
+        # Lone edge (degrees 1,1, no triangles): optimum gamma=pi/2... the
+        # known maximum expectation for a single edge at p=1 is 1.
+        values = [
+            maxcut_p1_edge_expectation(g, b, 1, 1, 0)
+            for g in np.linspace(0, 2 * np.pi, 60)
+            for b in np.linspace(0, np.pi, 30)
+        ]
+        assert max(values) == pytest.approx(1.0, abs=1e-3)
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            maxcut_p1_edge_expectation(0.1, 0.1, 0, 1, 0)
+        with pytest.raises(ValueError):
+            maxcut_p1_edge_expectation(0.1, 0.1, 1, 1, -1)
+
+
+class TestGraphFormula:
+    @pytest.mark.parametrize("graph_builder", [
+        lambda: nx.path_graph(5),
+        lambda: nx.cycle_graph(6),
+        lambda: nx.complete_graph(5),
+        lambda: nx.star_graph(5),
+        lambda: nx.random_regular_graph(3, 8, seed=0),
+    ])
+    def test_matches_exact_engine_on_structured_graphs(self, graph_builder):
+        g = graph_builder()
+        ham = MaxCutHamiltonian(g)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            gamma = float(rng.uniform(0, 2 * np.pi))
+            beta = float(rng.uniform(0, np.pi))
+            exact = qaoa_expectation_fast(ham, [gamma], [beta])
+            analytic = maxcut_p1_expectation(g, gamma, beta)
+            assert analytic == pytest.approx(exact, abs=1e-9)
+
+    def test_large_graph_runs_fast(self):
+        g = _connected_er(200, 0.03, 1)
+        value = maxcut_p1_expectation(g, 0.7, 0.4)
+        assert 0 <= value <= g.number_of_edges()
+
+    def test_triangle_counting_matters(self):
+        """A triangle graph and a path with the same degrees must differ."""
+        triangle = nx.cycle_graph(3)
+        value_t = maxcut_p1_expectation(triangle, 0.9, 0.5)
+        exact_t = qaoa_expectation_fast(MaxCutHamiltonian(triangle), [0.9], [0.5])
+        assert value_t == pytest.approx(exact_t, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    gamma=st.floats(min_value=0.0, max_value=2 * np.pi),
+    beta=st.floats(min_value=0.0, max_value=np.pi),
+)
+def test_property_analytic_equals_statevector(seed, gamma, beta):
+    """The closed form agrees with exact simulation on random graphs."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 9))
+    g = _connected_er(n, 0.5, seed)
+    exact = qaoa_expectation_fast(MaxCutHamiltonian(g), [gamma], [beta])
+    analytic = maxcut_p1_expectation(g, gamma, beta)
+    assert analytic == pytest.approx(exact, abs=1e-8)

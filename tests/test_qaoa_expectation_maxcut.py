@@ -1,0 +1,143 @@
+"""Tests for repro.qaoa.expectation and repro.qaoa.maxcut."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.qaoa.expectation import (
+    EngineLimitError,
+    maxcut_expectation,
+    noisy_maxcut_expectation,
+)
+from repro.qaoa.fast_sim import FastNoiseSpec
+from repro.qaoa.maxcut import (
+    approximation_ratio,
+    brute_force_maxcut,
+    cut_size,
+    local_search_maxcut,
+)
+
+
+def _connected_er(n, p, seed):
+    offset = 0
+    while True:
+        g = nx.erdos_renyi_graph(n, p, seed=seed + offset)
+        if g.number_of_edges() and nx.is_connected(g):
+            return g
+        offset += 100
+
+
+class TestDispatcher:
+    def test_small_graph_uses_statevector(self):
+        g = _connected_er(8, 0.4, 0)
+        a = maxcut_expectation(g, [0.6], [0.4], method="statevector")
+        b = maxcut_expectation(g, [0.6], [0.4], method="auto")
+        assert a == pytest.approx(b)
+
+    def test_engines_agree(self):
+        g = _connected_er(10, 0.3, 1)
+        sv = maxcut_expectation(g, [0.6], [0.4], method="statevector")
+        an = maxcut_expectation(g, [0.6], [0.4], method="analytic")
+        lc = maxcut_expectation(g, [0.6], [0.4], method="lightcone")
+        assert sv == pytest.approx(an, abs=1e-9)
+        assert sv == pytest.approx(lc, abs=1e-9)
+
+    def test_large_graph_p1_analytic(self):
+        g = nx.random_regular_graph(3, 100, seed=0)
+        value = maxcut_expectation(g, [0.5], [0.3])
+        assert 0 <= value <= g.number_of_edges()
+
+    def test_large_graph_p2_lightcone(self):
+        g = nx.random_regular_graph(3, 40, seed=1)
+        value = maxcut_expectation(g, [0.5, 0.9], [0.3, 0.7])
+        assert 0 <= value <= g.number_of_edges()
+
+    def test_dense_large_graph_raises(self):
+        g = nx.complete_graph(30)
+        with pytest.raises(EngineLimitError):
+            maxcut_expectation(g, [0.5, 0.9], [0.3, 0.7])
+
+    def test_analytic_rejects_p2(self):
+        g = nx.path_graph(5)
+        with pytest.raises(ValueError):
+            maxcut_expectation(g, [0.5, 0.9], [0.3, 0.7], method="analytic")
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            maxcut_expectation(nx.path_graph(3), [0.1], [0.1], method="quantum")
+
+    def test_arbitrary_labels_accepted(self):
+        g = nx.Graph([("x", "y"), ("y", "z")])
+        value = maxcut_expectation(g, [0.5], [0.3])
+        assert 0 <= value <= 2
+
+    def test_noisy_wrapper(self):
+        g = _connected_er(7, 0.4, 5)
+        noise = FastNoiseSpec(edge_error=0.05)
+        value = noisy_maxcut_expectation(g, [0.5], [0.3], noise, trajectories=4, seed=0)
+        assert 0 <= value <= g.number_of_edges()
+
+
+class TestBruteForce:
+    def test_path(self):
+        value, assignment = brute_force_maxcut(nx.path_graph(4))
+        assert value == 3.0
+        assert cut_size(nx.path_graph(4), assignment) == 3
+
+    def test_odd_cycle(self):
+        value, _ = brute_force_maxcut(nx.cycle_graph(5))
+        assert value == 4.0
+
+    def test_complete_bipartite(self):
+        g = nx.complete_bipartite_graph(3, 4)
+        value, assignment = brute_force_maxcut(g)
+        assert value == 12.0
+        assert cut_size(g, assignment) == 12
+
+    def test_petersen(self):
+        # Known MaxCut of the Petersen graph is 12.
+        value, _ = brute_force_maxcut(nx.petersen_graph())
+        assert value == 12.0
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            brute_force_maxcut(nx.path_graph(25))
+
+    def test_assignment_uses_original_labels(self):
+        g = nx.Graph([("a", "b")])
+        _, assignment = brute_force_maxcut(g)
+        assert set(assignment) == {"a", "b"}
+        assert assignment["a"] != assignment["b"]
+
+
+class TestLocalSearch:
+    def test_reaches_optimum_on_small_graphs(self):
+        for seed in range(4):
+            g = _connected_er(10, 0.4, seed)
+            exact, _ = brute_force_maxcut(g)
+            heuristic, assignment = local_search_maxcut(g, restarts=20, seed=seed)
+            assert heuristic == exact
+            assert cut_size(g, assignment) == heuristic
+
+    def test_large_graph_reasonable(self):
+        g = nx.random_regular_graph(3, 60, seed=2)
+        value, assignment = local_search_maxcut(g, restarts=10, seed=0)
+        assert value >= g.number_of_edges() * 0.6
+        assert cut_size(g, assignment) == value
+
+    def test_restart_validation(self):
+        with pytest.raises(ValueError):
+            local_search_maxcut(nx.path_graph(3), restarts=0)
+
+
+class TestMetrics:
+    def test_cut_size_requires_full_assignment(self):
+        with pytest.raises(ValueError):
+            cut_size(nx.path_graph(3), {0: 0, 1: 1})
+
+    def test_approximation_ratio(self):
+        assert approximation_ratio(9.0, 10.0) == pytest.approx(0.9)
+
+    def test_approximation_ratio_validates(self):
+        with pytest.raises(ValueError):
+            approximation_ratio(1.0, 0.0)

@@ -1,0 +1,74 @@
+"""Tests for repro.qaoa.hamiltonian."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.qaoa.hamiltonian import MaxCutHamiltonian, cut_values
+
+
+class TestCutValues:
+    def test_single_edge(self):
+        g = nx.Graph([(0, 1)])
+        assert np.array_equal(cut_values(g), [0, 1, 1, 0])
+
+    def test_triangle(self):
+        values = cut_values(nx.cycle_graph(3))
+        # Triangle: all-same -> 0 cut; any split -> 2 edges cut.
+        assert values[0] == 0 and values[7] == 0
+        assert all(values[z] == 2 for z in range(1, 7))
+
+    def test_square_maximum(self):
+        values = cut_values(nx.cycle_graph(4))
+        assert values.max() == 4  # bipartite: all edges cut
+        assert values[0b0101] == 4
+
+    def test_complement_symmetry(self):
+        """Flipping all bits leaves every cut unchanged."""
+        g = nx.erdos_renyi_graph(6, 0.5, seed=3)
+        values = cut_values(g)
+        n = 6
+        flipped = values[np.arange(2**n) ^ (2**n - 1)]
+        assert np.array_equal(values, flipped)
+
+    def test_values_bounded_by_edge_count(self):
+        g = nx.erdos_renyi_graph(7, 0.4, seed=1)
+        values = cut_values(g)
+        assert values.min() >= 0
+        assert values.max() <= g.number_of_edges()
+
+    def test_requires_range_labels(self):
+        g = nx.Graph([(10, 20)])
+        with pytest.raises(ValueError):
+            cut_values(g)
+
+    def test_size_guard(self):
+        g = nx.path_graph(30)
+        with pytest.raises(ValueError):
+            cut_values(g)
+
+
+class TestMaxCutHamiltonian:
+    def test_relabels_arbitrary_nodes(self):
+        g = nx.Graph([("a", "b"), ("b", "c")])
+        ham = MaxCutHamiltonian(g)
+        assert ham.num_qubits == 3
+        assert ham.num_edges == 2
+
+    def test_diagonal_cached(self):
+        ham = MaxCutHamiltonian(nx.cycle_graph(4))
+        assert ham.diagonal is ham.diagonal
+
+    def test_max_value_path(self):
+        # Path P4: bipartite, cut all 3 edges.
+        ham = MaxCutHamiltonian(nx.path_graph(4))
+        assert ham.max_value() == 3.0
+
+    def test_max_value_complete_graph(self):
+        # K4: best cut is 2+2 split -> 4 edges.
+        ham = MaxCutHamiltonian(nx.complete_graph(4))
+        assert ham.max_value() == 4.0
+
+    def test_edges_sorted(self):
+        ham = MaxCutHamiltonian(nx.Graph([(2, 0), (1, 0)]))
+        assert ham.edges == [(0, 1), (0, 2)]

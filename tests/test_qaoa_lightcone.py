@@ -1,0 +1,84 @@
+"""Tests for repro.qaoa.lightcone."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.qaoa.fast_sim import qaoa_expectation_fast
+from repro.qaoa.hamiltonian import MaxCutHamiltonian
+from repro.qaoa.lightcone import (
+    LightconeTooLargeError,
+    edge_lightcone,
+    lightcone_expectation,
+)
+
+
+def _connected_er(n, p, seed):
+    offset = 0
+    while True:
+        g = nx.erdos_renyi_graph(n, p, seed=seed + offset)
+        if g.number_of_edges() and nx.is_connected(g):
+            return g
+        offset += 100
+
+
+class TestEdgeLightcone:
+    def test_p1_is_closed_neighborhood(self):
+        g = nx.path_graph(7)
+        nodes = edge_lightcone(g, (2, 3), 1)
+        assert nodes == {1, 2, 3, 4}
+
+    def test_grows_with_p(self):
+        g = nx.path_graph(9)
+        assert edge_lightcone(g, (4, 5), 1) < edge_lightcone(g, (4, 5), 2)
+
+    def test_saturates_at_graph(self):
+        g = nx.cycle_graph(5)
+        assert edge_lightcone(g, (0, 1), 10) == set(range(5))
+
+
+class TestLightconeExpectation:
+    @pytest.mark.parametrize("p", [1, 2])
+    def test_matches_exact_on_sparse_graph(self, p):
+        g = _connected_er(9, 0.25, 3)
+        ham = MaxCutHamiltonian(g)
+        rng = np.random.default_rng(p)
+        gammas = list(rng.uniform(0, 2 * np.pi, size=p))
+        betas = list(rng.uniform(0, np.pi, size=p))
+        exact = qaoa_expectation_fast(ham, gammas, betas)
+        cone = lightcone_expectation(g, gammas, betas)
+        assert cone == pytest.approx(exact, abs=1e-9)
+
+    def test_matches_exact_on_tree(self):
+        g = nx.random_labeled_tree(12, seed=4) if hasattr(nx, "random_labeled_tree") else nx.random_tree(12, seed=4)
+        ham = MaxCutHamiltonian(g)
+        exact = qaoa_expectation_fast(ham, [0.8, 1.2], [0.3, 0.7])
+        cone = lightcone_expectation(g, [0.8, 1.2], [0.3, 0.7])
+        assert cone == pytest.approx(exact, abs=1e-9)
+
+    def test_regular_graph_cache_reuse(self):
+        """On a cycle all lightcones are isomorphic: one evaluation reused."""
+        g = nx.cycle_graph(30)
+        value = lightcone_expectation(g, [0.5], [0.3])
+        # Compare against a smaller cycle scaled by edge count: each edge of
+        # any long-enough cycle contributes identically at p=1.
+        small = nx.cycle_graph(10)
+        small_value = lightcone_expectation(small, [0.5], [0.3])
+        assert value / 30 == pytest.approx(small_value / 10, abs=1e-9)
+
+    def test_too_dense_raises(self):
+        g = nx.complete_graph(25)
+        with pytest.raises(LightconeTooLargeError):
+            lightcone_expectation(g, [0.1, 0.2], [0.1, 0.2], max_qubits=10)
+
+    def test_parameter_validation(self):
+        g = nx.path_graph(4)
+        with pytest.raises(ValueError):
+            lightcone_expectation(g, [0.1], [0.1, 0.2])
+
+    def test_large_sparse_graph_feasible(self):
+        """60-node 3-regular graph at p=2: full statevector impossible,
+        lightcones small."""
+        g = nx.random_regular_graph(3, 60, seed=0)
+        value = lightcone_expectation(g, [0.4, 0.9], [0.2, 0.6])
+        assert 0 <= value <= g.number_of_edges()

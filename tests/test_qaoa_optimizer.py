@@ -1,0 +1,134 @@
+"""Tests for repro.qaoa.optimizer."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.qaoa.expectation import maxcut_expectation
+from repro.qaoa.maxcut import brute_force_maxcut
+from repro.qaoa.optimizer import (
+    OptimizationTrace,
+    cobyla_optimize,
+    grid_search,
+    multi_restart_optimize,
+    random_initial_point,
+)
+
+
+def _energy_fn(graph):
+    return lambda gammas, betas: maxcut_expectation(graph, gammas, betas)
+
+
+class TestTrace:
+    def test_record_and_best(self):
+        trace = OptimizationTrace()
+        trace.record(np.array([0.1]), np.array([0.2]), 1.0)
+        trace.record(np.array([0.3]), np.array([0.4]), 3.0)
+        trace.record(np.array([0.5]), np.array([0.6]), 2.0)
+        assert trace.best_value == 3.0
+        gammas, betas = trace.best_parameters
+        assert gammas[0] == 0.3 and betas[0] == 0.4
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            OptimizationTrace().best_value
+
+    def test_recorded_arrays_are_copies(self):
+        trace = OptimizationTrace()
+        point = np.array([0.1])
+        trace.record(point, point, 1.0)
+        point[0] = 99.0
+        assert trace.parameters[0][0][0] == 0.1
+
+    def test_reevaluate(self):
+        trace = OptimizationTrace()
+        trace.record(np.array([0.1]), np.array([0.2]), 1.0)
+        trace.record(np.array([0.3]), np.array([0.4]), 2.0)
+        values = trace.reevaluate(lambda g, b: float(g[0] + b[0]))
+        assert np.allclose(values, [0.3, 0.7])
+
+
+class TestCobyla:
+    def test_improves_over_start(self):
+        g = nx.erdos_renyi_graph(7, 0.5, seed=3)
+        fn = _energy_fn(g)
+        trace = cobyla_optimize(fn, p=1, maxiter=60, seed=0)
+        assert trace.best_value >= trace.values[0]
+
+    def test_finds_good_p1_solution(self):
+        g = nx.erdos_renyi_graph(8, 0.4, seed=1)
+        fn = _energy_fn(g)
+        best = max(
+            cobyla_optimize(fn, p=1, maxiter=80, seed=s).best_value for s in range(3)
+        )
+        optimum, _ = brute_force_maxcut(g)
+        # p=1 QAOA on small ER graphs reliably clears ~60% of the optimum.
+        assert best >= 0.6 * optimum
+
+    def test_respects_maxiter_budget(self):
+        g = nx.path_graph(5)
+        trace = cobyla_optimize(_energy_fn(g), p=1, maxiter=10, seed=0)
+        # COBYLA may use a couple of extra evaluations for its final simplex.
+        assert trace.num_evaluations <= 15
+
+    def test_initial_point_used(self):
+        g = nx.path_graph(5)
+        initial = np.array([1.0, 0.5])
+        trace = cobyla_optimize(_energy_fn(g), p=1, initial=initial, maxiter=5, seed=0)
+        gammas, betas = trace.parameters[0]
+        assert gammas[0] == pytest.approx(1.0)
+        assert betas[0] == pytest.approx(0.5)
+
+    def test_initial_shape_validated(self):
+        with pytest.raises(ValueError):
+            cobyla_optimize(lambda g, b: 0.0, p=2, initial=np.array([1.0]), seed=0)
+
+    def test_p_validated(self):
+        with pytest.raises(ValueError):
+            cobyla_optimize(lambda g, b: 0.0, p=0)
+
+    def test_seeded_runs_identical(self):
+        g = nx.cycle_graph(5)
+        a = cobyla_optimize(_energy_fn(g), p=1, maxiter=20, seed=9)
+        b = cobyla_optimize(_energy_fn(g), p=1, maxiter=20, seed=9)
+        assert a.values == b.values
+
+
+class TestMultiRestart:
+    def test_number_of_runs(self):
+        g = nx.path_graph(4)
+        traces = multi_restart_optimize(_energy_fn(g), p=1, restarts=4, maxiter=10, seed=0)
+        assert len(traces) == 4
+
+    def test_restarts_differ(self):
+        g = nx.cycle_graph(5)
+        traces = multi_restart_optimize(_energy_fn(g), p=1, restarts=3, maxiter=10, seed=1)
+        starts = {tuple(t.parameters[0][0]) for t in traces}
+        assert len(starts) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_restart_optimize(lambda g, b: 0.0, p=1, restarts=0)
+
+
+class TestGridSearch:
+    def test_grid_beats_most_points(self):
+        g = nx.erdos_renyi_graph(6, 0.5, seed=2)
+        (gamma, beta), best, values = grid_search(_energy_fn(g), width=10)
+        assert best == values.max()
+        assert values.shape == (10, 10)
+
+    def test_best_parameters_on_grid(self):
+        g = nx.cycle_graph(4)
+        (gamma, beta), best, _ = grid_search(_energy_fn(g), width=8)
+        assert 0 <= gamma < 2 * np.pi
+        assert 0 <= beta < np.pi
+
+
+class TestRandomInitialPoint:
+    def test_shape_and_ranges(self):
+        rng = np.random.default_rng(0)
+        x = random_initial_point(3, rng)
+        assert x.shape == (6,)
+        assert (x[:3] <= 2 * np.pi).all()
+        assert (x[3:] <= np.pi).all()

@@ -1,0 +1,132 @@
+"""Tests for repro.quantum.circuit."""
+
+import pytest
+
+from repro.quantum.circuit import Instruction, QuantumCircuit
+
+
+class TestInstruction:
+    def test_valid(self):
+        inst = Instruction("rx", (0,), (0.5,))
+        assert inst.name == "rx"
+
+    def test_unknown_gate(self):
+        with pytest.raises(KeyError):
+            Instruction("foo", (0,))
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Instruction("cx", (0,))
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(ValueError):
+            Instruction("cx", (1, 1))
+
+    def test_wrong_params(self):
+        with pytest.raises(ValueError):
+            Instruction("h", (0,), (0.1,))
+
+    def test_frozen(self):
+        inst = Instruction("h", (0,))
+        with pytest.raises(AttributeError):
+            inst.name = "x"
+
+
+class TestBuilding:
+    def test_helper_methods(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.x(1)
+        qc.rx(0.1, 2)
+        qc.cx(0, 1)
+        qc.rzz(0.5, 1, 2)
+        assert len(qc) == 5
+
+    def test_qubit_bounds_checked(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            qc.h(2)
+        with pytest.raises(ValueError):
+            qc.cx(0, 5)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_extend(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.cx(0, 1)
+        a.extend(b)
+        assert len(a) == 2
+
+    def test_extend_wider_raises(self):
+        a = QuantumCircuit(2)
+        b = QuantumCircuit(3)
+        b.h(2)
+        with pytest.raises(ValueError):
+            a.extend(b)
+
+
+class TestInspection:
+    def test_depth_parallel_gates(self):
+        qc = QuantumCircuit(4)
+        qc.h(0)
+        qc.h(1)
+        qc.h(2)
+        assert qc.depth() == 1
+
+    def test_depth_serial_chain(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.h(1)
+        assert qc.depth() == 3
+
+    def test_depth_empty(self):
+        assert QuantumCircuit(3).depth() == 0
+
+    def test_depth_two_qubit_sync(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.h(0)          # qubit 0 at level 2
+        qc.cx(0, 1)      # level 3 on both
+        qc.h(1)          # level 4
+        assert qc.depth() == 4
+
+    def test_count_ops(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.h(1)
+        qc.cx(0, 1)
+        assert qc.count_ops() == {"h": 2, "cx": 1}
+
+    def test_two_qubit_gate_count(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.rzz(0.3, 1, 2)
+        qc.swap(0, 2)
+        assert qc.two_qubit_gate_count() == 3
+
+    def test_used_qubits(self):
+        qc = QuantumCircuit(5)
+        qc.h(1)
+        qc.cx(1, 3)
+        assert qc.used_qubits() == {1, 3}
+
+    def test_copy_is_independent(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        clone = qc.copy()
+        clone.x(1)
+        assert len(qc) == 1
+        assert len(clone) == 2
+
+    def test_iteration_order(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.x(1)
+        names = [inst.name for inst in qc]
+        assert names == ["h", "x"]

@@ -1,0 +1,105 @@
+"""Tests for repro.quantum.coupling."""
+
+import networkx as nx
+import pytest
+
+from repro.quantum.coupling import (
+    FALCON_27_EDGES,
+    GUADALUPE_16_EDGES,
+    MELBOURNE_14_EDGES,
+    CouplingMap,
+    aspen_octagonal_map,
+    grid_map,
+    heavy_hex_map,
+    line_map,
+    ring_map,
+)
+
+
+class TestCouplingMap:
+    def test_basic_construction(self):
+        cm = CouplingMap([(0, 1), (1, 2)])
+        assert cm.num_qubits == 3
+        assert cm.are_adjacent(0, 1)
+        assert not cm.are_adjacent(0, 2)
+
+    def test_neighbors_sorted(self):
+        cm = CouplingMap([(1, 0), (1, 3), (1, 2)])
+        assert cm.neighbors(1) == [0, 2, 3]
+
+    def test_distance(self):
+        cm = line_map(5)
+        assert cm.distance(0, 4) == 4
+        assert cm.distance(2, 2) == 0
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap([(0, 1), (2, 3)], 4)
+
+    def test_edges_exceeding_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap([(0, 5)], 3)
+
+    def test_distance_matrix_symmetric(self):
+        cm = grid_map(3, 3)
+        d = cm.distance_matrix
+        assert (d == d.T).all()
+
+
+class TestGenerators:
+    def test_line(self):
+        cm = line_map(7)
+        assert cm.num_qubits == 7
+        assert len(cm.edges) == 6
+
+    def test_ring(self):
+        cm = ring_map(6)
+        assert len(cm.edges) == 6
+        assert cm.distance(0, 3) == 3
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring_map(2)
+
+    def test_grid(self):
+        cm = grid_map(3, 4)
+        assert cm.num_qubits == 12
+        assert len(cm.edges) == 3 * 3 + 2 * 4
+
+    @pytest.mark.parametrize("n", [27, 33, 65, 127])
+    def test_heavy_hex_exact_size(self, n):
+        cm = heavy_hex_map(n)
+        assert cm.num_qubits == n
+        assert nx.is_connected(cm.graph)
+
+    def test_heavy_hex_low_degree(self):
+        cm = heavy_hex_map(65)
+        max_degree = max(dict(cm.graph.degree()).values())
+        assert max_degree <= 4  # heavy-hex keeps connectivity sparse
+
+    def test_aspen_size_and_connectivity(self):
+        cm = aspen_octagonal_map(79)
+        assert cm.num_qubits == 79
+        assert nx.is_connected(cm.graph)
+
+    def test_aspen_oversized_request_rejected(self):
+        with pytest.raises(ValueError):
+            aspen_octagonal_map(1000, octagon_cols=2, octagon_rows=1)
+
+
+class TestHardcodedDeviceMaps:
+    def test_falcon_27(self):
+        cm = CouplingMap(FALCON_27_EDGES, 27)
+        assert cm.num_qubits == 27
+        assert nx.is_connected(cm.graph)
+        assert max(dict(cm.graph.degree()).values()) <= 3
+
+    def test_guadalupe_16(self):
+        cm = CouplingMap(GUADALUPE_16_EDGES, 16)
+        assert cm.num_qubits == 16
+        assert nx.is_connected(cm.graph)
+
+    def test_melbourne_14(self):
+        cm = CouplingMap(MELBOURNE_14_EDGES, 14)
+        assert cm.num_qubits == 14
+        assert nx.is_connected(cm.graph)

@@ -1,0 +1,115 @@
+"""Tests for repro.quantum.executor (the gate-level device pipeline)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.qaoa.expectation import maxcut_expectation
+from repro.qaoa.maxcut import cut_size
+from repro.quantum.backends import get_backend
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.executor import DeviceExecutor
+
+
+def _connected_er(n, p, seed):
+    offset = 0
+    while True:
+        g = nx.erdos_renyi_graph(n, p, seed=seed + offset)
+        if g.number_of_edges() and nx.is_connected(g):
+            return g
+        offset += 100
+
+
+class TestRun:
+    def test_probabilities_normalized(self):
+        executor = DeviceExecutor(get_backend("guadalupe"), seed=0)
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.cx(1, 2)
+        result = executor.run(qc)
+        assert result.probabilities.sum() == pytest.approx(1.0)
+        assert result.depth > 0
+
+    def test_simulator_selection_small(self):
+        executor = DeviceExecutor(get_backend("guadalupe"), seed=0)
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        result = executor.run(qc)
+        assert result.simulator == "density_matrix"
+
+    def test_simulator_selection_large(self):
+        executor = DeviceExecutor(get_backend("kolkata"), trajectories=2, seed=0)
+        qc = QuantumCircuit(12)
+        for q in range(12):
+            qc.h(q)
+        for q in range(11):
+            qc.cx(q, q + 1)
+        result = executor.run(qc)
+        assert result.simulator == "trajectories"
+
+    def test_trial_validation(self):
+        with pytest.raises(ValueError):
+            DeviceExecutor(get_backend("kolkata"), transpile_trials=0)
+
+
+class TestMaxCutExpectation:
+    def test_ideal_executor_matches_reference(self):
+        graph = _connected_er(5, 0.6, 0)
+        executor = DeviceExecutor(get_backend("kolkata"), noisy=False, seed=0)
+        value = executor.maxcut_expectation(graph, [0.8], [0.4])
+        reference = maxcut_expectation(graph, [0.8], [0.4])
+        assert value == pytest.approx(reference, abs=1e-8)
+
+    def test_noisy_executor_damps_at_optimum(self):
+        graph = nx.cycle_graph(4)
+        gammas, betas = [1.1], [0.39]  # near-optimal for C4
+        ideal = maxcut_expectation(graph, gammas, betas)
+        executor = DeviceExecutor(get_backend("toronto"), noisy=True, seed=0)
+        noisy = executor.maxcut_expectation(graph, gammas, betas)
+        assert noisy < ideal
+
+    def test_better_device_less_damping(self):
+        graph = _connected_er(5, 0.6, 2)
+        gammas, betas = [0.9], [0.5]
+        ideal = maxcut_expectation(graph, gammas, betas)
+        values = {}
+        for device in ("kolkata", "melbourne"):
+            executor = DeviceExecutor(get_backend(device), noisy=True, seed=0)
+            values[device] = executor.maxcut_expectation(graph, gammas, betas)
+        # Only meaningful when the point is above random guessing.
+        if ideal > graph.number_of_edges() / 2:
+            assert abs(values["kolkata"] - ideal) <= abs(values["melbourne"] - ideal) + 0.05
+
+    def test_weighted_graph_supported(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=2.0)
+        graph.add_edge(1, 2, weight=0.5)
+        executor = DeviceExecutor(get_backend("kolkata"), noisy=False, seed=0)
+        value = executor.maxcut_expectation(graph, [0.6], [0.3])
+        reference = maxcut_expectation(graph, [0.6], [0.3])
+        assert value == pytest.approx(reference, abs=1e-8)
+
+
+class TestSampleCuts:
+    def test_counts_total_and_logical_support(self):
+        graph = nx.cycle_graph(4)
+        executor = DeviceExecutor(get_backend("kolkata"), noisy=False, seed=0)
+        counts = executor.sample_cuts(graph, [1.1], [0.39], shots=300)
+        assert sum(counts.values()) == 300
+        assert all(0 <= k < 16 for k in counts)
+
+    def test_logical_mapping_consistent(self):
+        """At near-optimal parameters on C4 the dominant ideal samples cut
+        all four edges -- verify after mapping back through the layout."""
+        graph = nx.cycle_graph(4)
+        executor = DeviceExecutor(get_backend("kolkata"), noisy=False, seed=1)
+        counts = executor.sample_cuts(graph, [1.1], [0.39], shots=400)
+        best = max(counts, key=counts.get)
+        assignment = {q: (best >> q) & 1 for q in range(4)}
+        assert cut_size(graph, assignment) == 4
+
+    def test_shots_validated(self):
+        executor = DeviceExecutor(get_backend("kolkata"), seed=0)
+        with pytest.raises(ValueError):
+            executor.sample_cuts(nx.path_graph(3), [0.1], [0.1], shots=0)

@@ -1,0 +1,74 @@
+"""Tests for repro.quantum.visualization."""
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.visualization import draw
+
+
+class TestDraw:
+    def test_empty_circuit(self):
+        out = draw(QuantumCircuit(2))
+        assert out.splitlines() == ["q0: -", "q1: -"]
+
+    def test_single_gate(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        assert "[H]" in draw(qc)
+
+    def test_row_per_qubit(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        lines = draw(qc).splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("q0:")
+        assert lines[2].startswith("q2:")
+
+    def test_cx_symbols(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        lines = draw(qc).splitlines()
+        assert "*" in lines[0]
+        assert "[X]" in lines[1]
+
+    def test_parametrized_gate_shows_angle(self):
+        qc = QuantumCircuit(1)
+        qc.rx(0.5, 0)
+        assert "RX(0.50)" in draw(qc)
+
+    def test_rzz_label(self):
+        qc = QuantumCircuit(2)
+        qc.rzz(1.25, 0, 1)
+        assert "ZZ(1.25)" in draw(qc)
+
+    def test_parallel_gates_share_column(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.h(1)
+        lines = draw(qc).splitlines()
+        # Both rows have one gate column -> equal lengths.
+        assert len(lines[0]) == len(lines[1])
+
+    def test_dependent_gates_get_new_column(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.x(0)
+        line = draw(qc).splitlines()[0]
+        assert line.index("[H]") < line.index("[X]")
+
+    def test_all_rows_equal_length(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.rzz(0.7, 1, 2)
+        qc.rx(1.0, 2)
+        lines = draw(qc).splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_wide_circuit_wraps(self):
+        qc = QuantumCircuit(2)
+        for _ in range(30):
+            qc.rx(1.2345, 0)
+            qc.cx(0, 1)
+        out = draw(qc, max_columns=60)
+        assert "\n\n" in out  # wrapped into banks
+        for line in out.splitlines():
+            assert len(line) <= 60

@@ -1,0 +1,104 @@
+"""Tests for repro.transfer.parameter_transfer."""
+
+import networkx as nx
+import pytest
+
+from repro.transfer import (
+    four_ary_tree_graph,
+    perturb_graph,
+    random_regular_donor,
+    star_graph,
+    transfer_landscape_mse,
+)
+
+
+class TestPerturbGraph:
+    def test_edge_count_preserved(self):
+        g = nx.random_regular_graph(3, 12, seed=0)
+        perturbed = perturb_graph(g, 0.1, seed=0)
+        assert perturbed.number_of_edges() == g.number_of_edges()
+
+    def test_stays_connected(self):
+        g = nx.random_regular_graph(3, 14, seed=1)
+        perturbed = perturb_graph(g, 0.2, seed=1)
+        assert nx.is_connected(perturbed)
+
+    def test_becomes_irregular(self):
+        g = nx.random_regular_graph(4, 12, seed=2)
+        perturbed = perturb_graph(g, 0.15, seed=2)
+        degrees = {d for _, d in perturbed.degree()}
+        assert len(degrees) > 1
+
+    def test_zero_fraction_is_identity(self):
+        g = nx.random_regular_graph(3, 10, seed=3)
+        perturbed = perturb_graph(g, 0.0, seed=3)
+        assert set(perturbed.edges()) == set(g.edges())
+
+    def test_original_not_mutated(self):
+        g = nx.random_regular_graph(3, 10, seed=4)
+        edges_before = set(g.edges())
+        perturb_graph(g, 0.3, seed=4)
+        assert set(g.edges()) == edges_before
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            perturb_graph(nx.path_graph(4), 1.5)
+
+
+class TestDonor:
+    def test_regular_and_connected(self):
+        donor = random_regular_donor(3, 8, seed=0)
+        degrees = {d for _, d in donor.degree()}
+        assert degrees == {3}
+        assert nx.is_connected(donor)
+
+    def test_parity_fixup(self):
+        # 3-regular on 7 nodes is impossible; the donor bumps to 8.
+        donor = random_regular_donor(3, 7, seed=0)
+        assert donor.number_of_nodes() == 8
+
+    def test_small_count_bumped(self):
+        donor = random_regular_donor(4, 3, seed=0)
+        assert donor.number_of_nodes() >= 5
+
+    def test_degree_validated(self):
+        with pytest.raises(ValueError):
+            random_regular_donor(0, 5)
+
+
+class TestStructuredGraphs:
+    def test_star(self):
+        g = star_graph(30)
+        assert g.number_of_nodes() == 30
+        assert g.number_of_edges() == 29
+
+    def test_four_ary_tree(self):
+        g = four_ary_tree_graph(30)
+        assert g.number_of_nodes() == 30
+        assert nx.is_tree(g)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            star_graph(1)
+
+
+class TestTransferMse:
+    def test_identical_graph_near_zero(self):
+        g = nx.random_regular_graph(3, 10, seed=0)
+        assert transfer_landscape_mse(g, g, width=10) == pytest.approx(0.0, abs=1e-12)
+
+    def test_regular_to_regular_transfers_well(self):
+        """Same-degree regular graphs share landscapes (prior work's case)."""
+        a = nx.random_regular_graph(3, 12, seed=1)
+        b = nx.random_regular_graph(3, 8, seed=2)
+        assert transfer_landscape_mse(a, b, width=12) < 0.02
+
+    def test_irregular_transfer_degrades(self):
+        """A star is about as irregular as it gets; a regular donor's
+        landscape is far away (Fig. 21's Star_30 column)."""
+        star = star_graph(20)
+        donor = random_regular_donor(2, 10, seed=0)
+        star_mse = transfer_landscape_mse(star, donor, width=12)
+        regular = nx.random_regular_graph(2, 14, seed=1)
+        regular_mse = transfer_landscape_mse(regular, donor, width=12)
+        assert star_mse > regular_mse

@@ -1,0 +1,55 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 10**9, size=10)
+        b = as_generator(2).integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough_is_identity(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_shared_generator_advances_state(self):
+        gen = as_generator(7)
+        first = as_generator(gen).random()
+        second = as_generator(gen).random()
+        assert first != second
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn(as_generator(0), 5)
+        assert len(children) == 5
+
+    def test_spawn_zero(self):
+        assert spawn(as_generator(0), 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(as_generator(0), -1)
+
+    def test_children_are_independent(self):
+        children = spawn(as_generator(0), 2)
+        a = children[0].integers(0, 10**9, size=20)
+        b = children[1].integers(0, 10**9, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_is_reproducible(self):
+        a = spawn(as_generator(3), 2)[0].random(5)
+        b = spawn(as_generator(3), 2)[0].random(5)
+        assert np.array_equal(a, b)
