@@ -24,6 +24,27 @@ import numpy as np
 __all__ = ["main"]
 
 
+def _add_weight_options(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--weighted", action="store_true",
+        help="attach random edge weights to every instance (weighted MaxCut)",
+    )
+    command.add_argument(
+        "--weight-dist", default="uniform",
+        choices=("uniform", "gaussian", "spin"),
+        help="weight distribution used with --weighted (spin = +/-1 Ising)",
+    )
+
+
+def _maybe_weight(graph, args: argparse.Namespace, seed: int):
+    """Apply --weighted/--weight-dist to one generated or loaded graph."""
+    if not getattr(args, "weighted", False):
+        return graph
+    from repro.datasets import attach_weights
+
+    return attach_weights(graph, args.weight_dist, seed=seed)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="red-qaoa",
@@ -41,10 +62,12 @@ def _build_parser() -> argparse.ArgumentParser:
     noisy.add_argument("--device", default="toronto", help="fake backend name")
     noisy.add_argument("--trajectories", type=int, default=4)
     noisy.add_argument("--seed", type=int, default=0)
+    _add_weight_options(noisy)
 
     ideal = sub.add_parser("mse-ideal", help="Secs. 6.2-6.3: ideal MSE per dataset")
     ideal.add_argument("--graph-set", default="aids",
-                       choices=("aids", "linux", "imdb", "random"))
+                       choices=("aids", "linux", "imdb", "random",
+                                "weighted-uniform", "weighted-gaussian", "spinglass"))
     ideal.add_argument("--num-graphs", type=int, default=10)
     ideal.add_argument("--p", type=int, default=1, help="QAOA layers")
     ideal.add_argument("--num-points", type=int, default=512,
@@ -52,6 +75,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ideal.add_argument("--min-nodes", type=int, default=0)
     ideal.add_argument("--max-nodes", type=int, default=10)
     ideal.add_argument("--seed", type=int, default=0)
+    _add_weight_options(ideal)
 
     e2e = sub.add_parser("end-to-end", help="Sec. 6.4.1: optimization quality")
     e2e.add_argument("--p", type=int, default=1, help="QAOA layers")
@@ -62,6 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
     e2e.add_argument("--restarts", type=int, default=5)
     e2e.add_argument("--maxiter", type=int, default=40)
     e2e.add_argument("--seed", type=int, default=0)
+    _add_weight_options(e2e)
     return parser
 
 
@@ -77,10 +102,12 @@ def _cmd_mse_noisy(args: argparse.Namespace) -> int:
     from repro.quantum import get_backend
 
     backend = get_backend(args.device)
-    graph = random_connected_gnp(args.nodes, 0.4, seed=args.seed)
+    graph = _maybe_weight(random_connected_gnp(args.nodes, 0.4, seed=args.seed),
+                          args, args.seed)
     reduction = GraphReducer(seed=args.seed).reduce(graph)
     reduced = reduction.reduced_graph
-    print(f"graph: {args.nodes} nodes, {graph.number_of_edges()} edges; "
+    flavor = f" ({args.weight_dist}-weighted)" if args.weighted else ""
+    print(f"graph: {args.nodes} nodes, {graph.number_of_edges()} edges{flavor}; "
           f"reduced: {reduced.number_of_nodes()} nodes "
           f"({reduction.node_reduction:.0%} node reduction); device: {backend.name}")
 
@@ -116,6 +143,7 @@ def _cmd_mse_ideal(args: argparse.Namespace) -> int:
         args.graph_set, count=args.num_graphs,
         min_nodes=max(args.min_nodes, 3), max_nodes=args.max_nodes, seed=args.seed,
     )
+    graphs = [_maybe_weight(g, args, args.seed + i) for i, g in enumerate(graphs)]
     reducer = GraphReducer(seed=args.seed)
     gammas, betas = sample_parameter_sets(args.p, args.num_points, seed=args.seed)
     node_reds, edge_reds, mses = [], [], []
@@ -143,7 +171,10 @@ def _cmd_end_to_end(args: argparse.Namespace) -> int:
 
     best_ratios, avg_ratios = [], []
     for index in range(args.num_graphs):
-        graph = random_connected_gnp(args.num_nodes, 0.4, seed=args.seed + index)
+        graph = _maybe_weight(
+            random_connected_gnp(args.num_nodes, 0.4, seed=args.seed + index),
+            args, args.seed + index,
+        )
         relabeled = relabel_to_range(graph)
         fn = lambda g, b: maxcut_expectation(relabeled, g, b)
         baseline = multi_restart_optimize(

@@ -24,18 +24,24 @@ import networkx as nx
 import numpy as np
 
 from repro.core.reduction import GraphReducer, ReductionResult
-from repro.utils.graphs import average_node_degree, ensure_graph
+from repro.utils.graphs import average_node_strength, ensure_graph, is_weighted
 
 __all__ = ["CachedReduction", "ReductionCache"]
 
 
 @dataclass(frozen=True)
 class CachedReduction:
-    """One banked distilled graph."""
+    """One banked distilled graph.
+
+    ``and_value`` is the strength-based (weighted) AND of the banked graph;
+    ``weighted`` records whether it carries non-unit edge weights, so
+    weighted queries never reuse weight-blind reductions and vice versa.
+    """
 
     graph: nx.Graph
     and_value: float
     source_nodes: int
+    weighted: bool = False
 
 
 @dataclass
@@ -65,18 +71,24 @@ class ReductionCache:
     def lookup(self, graph: nx.Graph) -> CachedReduction | None:
         """Best banked distilled graph acceptable for ``graph``, or None.
 
-        Acceptable means the AND ratio clears the reducer's threshold and
-        the banked graph is strictly smaller than ``graph``.  Among
-        acceptable entries the one with the closest AND wins.
+        Acceptable means the strength-based AND ratio clears the reducer's
+        threshold, the banked graph is strictly smaller than ``graph``, and
+        both sides agree on weightedness (a weighted instance's landscape
+        depends on its couplings, which a unit-weight banked graph cannot
+        represent).  Among acceptable entries the one with the closest AND
+        wins.
         """
         ensure_graph(graph)
-        target = average_node_degree(graph)
+        target = average_node_strength(graph)
         if target == 0.0:
             return None
+        query_weighted = is_weighted(graph)
         best: CachedReduction | None = None
         best_gap = np.inf
         for entry in self._entries:
             if entry.graph.number_of_nodes() >= graph.number_of_nodes():
+                continue
+            if entry.weighted != query_weighted:
                 continue
             ratio = entry.and_value / target
             ratio = ratio if ratio <= 1.0 else 1.0 / ratio
@@ -114,8 +126,9 @@ class ReductionCache:
     def _bank(self, result: ReductionResult) -> None:
         entry = CachedReduction(
             graph=nx.Graph(result.reduced_graph),
-            and_value=average_node_degree(result.reduced_graph),
+            and_value=average_node_strength(result.reduced_graph),
             source_nodes=result.original_graph.number_of_nodes(),
+            weighted=is_weighted(result.reduced_graph),
         )
         self._entries.append(entry)
         while len(self._entries) > self.max_entries:

@@ -12,6 +12,11 @@
    near-optimal);
 5. **solve** -- sample the original graph's QAOA state at the final
    parameters to read out a cut.
+
+Edge weights (the ``weight`` attribute) flow through every step: the SA
+reducer matches weighted node strength, induced subgraphs and relabelings
+preserve edge data, every expectation engine honors weights, and the cut
+readout scores sampled states against the weighted diagonal.
 """
 
 from __future__ import annotations
@@ -184,20 +189,19 @@ class RedQAOA:
         best_trace = max(traces, key=lambda t: t.best_value)
         gammas, betas = best_trace.best_parameters
 
-        finetune_trace = self.finetune(graph, gammas, betas)
+        relabeled = relabel_to_range(graph)
+        expectation = maxcut_expectation(relabeled, gammas, betas)
+        finetune_trace = self.finetune(relabeled, gammas, betas)
         if finetune_trace is not None and finetune_trace.num_evaluations:
             # Keep the transferred parameters if fine-tuning failed to help
             # under its (possibly noisy) objective.
             ft_gammas, ft_betas = finetune_trace.best_parameters
-            relabeled = relabel_to_range(graph)
-            if maxcut_expectation(relabeled, ft_gammas, ft_betas) >= maxcut_expectation(
-                relabeled, gammas, betas
-            ):
+            ft_expectation = maxcut_expectation(relabeled, ft_gammas, ft_betas)
+            if ft_expectation >= expectation:
                 gammas, betas = ft_gammas, ft_betas
+                expectation = ft_expectation
 
-        relabeled = relabel_to_range(graph)
-        expectation = maxcut_expectation(relabeled, gammas, betas)
-        cut_value, assignment = self._solve(graph, gammas, betas)
+        cut_value, assignment = self._solve(graph, relabeled, gammas, betas)
         return RedQAOAResult(
             reduction=reduction,
             gammas=np.asarray(gammas, dtype=float),
@@ -226,10 +230,13 @@ class RedQAOA:
         )
 
     def _solve(
-        self, graph: nx.Graph, gammas: np.ndarray, betas: np.ndarray
+        self, graph: nx.Graph, relabeled: nx.Graph, gammas: np.ndarray, betas: np.ndarray
     ) -> tuple[float, dict]:
-        """Step 5: sample the final state and return the best observed cut."""
-        relabeled = relabel_to_range(graph)
+        """Step 5: sample the final state and return the best observed cut.
+
+        ``relabeled`` is the caller's already-computed 0..n-1 relabeling of
+        ``graph``; the original is still needed for assignment labels.
+        """
         hamiltonian = MaxCutHamiltonian(relabeled)
         if self.noise is None:
             probs = qaoa_probabilities(hamiltonian, list(gammas), list(betas))

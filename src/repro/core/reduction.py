@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.annealer import AnnealResult, simulated_annealing
 from repro.core.cooling import CoolingSchedule
-from repro.utils.graphs import average_node_degree, ensure_graph, relabel_to_range
+from repro.utils.graphs import average_node_strength, ensure_graph, relabel_to_range
 from repro.utils.rng import as_generator
 
 __all__ = ["GraphReducer", "ReductionResult"]
@@ -61,6 +61,7 @@ class GraphReducer:
     ----------
     and_ratio_threshold:
         Minimum acceptable ``AND(G') / AND(G)``; 0.7 by default (Sec. 4.3).
+        On weighted graphs both ANDs are strength-based (weighted degrees).
         The ratio is clipped at 1 from above symmetrically, i.e. a subgraph
         with *larger* AND than the original is scored by ``AND(G)/AND(G')``.
     min_nodes:
@@ -184,8 +185,10 @@ class GraphReducer:
 
     @staticmethod
     def _and_ratio(graph: nx.Graph, result: AnnealResult) -> float:
-        original = average_node_degree(graph)
-        sub = average_node_degree(result.subgraph) if result.subgraph.number_of_nodes() else 0.0
+        """Weighted (strength-based) AND ratio; equals the paper's unweighted
+        ratio exactly when all weights are 1."""
+        original = average_node_strength(graph)
+        sub = average_node_strength(result.subgraph) if result.subgraph.number_of_nodes() else 0.0
         if original == 0.0 or sub == 0.0:
             return 0.0
         ratio = sub / original

@@ -11,15 +11,25 @@ from repro.datasets.random_graphs import random_graph_suite, random_connected_gn
 from repro.datasets.registry import DATASET_NAMES, load_dataset
 from repro.datasets.stats import DatasetStats, dataset_stats
 from repro.datasets.synthetic import aids_like_graph, imdb_like_graph, linux_like_graph
+from repro.datasets.weighted import (
+    WEIGHT_DISTRIBUTIONS,
+    attach_weights,
+    spin_glass_graph,
+    weighted_graph_suite,
+)
 
 __all__ = [
     "DATASET_NAMES",
     "DatasetStats",
+    "WEIGHT_DISTRIBUTIONS",
     "aids_like_graph",
+    "attach_weights",
     "dataset_stats",
     "imdb_like_graph",
     "linux_like_graph",
     "load_dataset",
     "random_connected_gnp",
     "random_graph_suite",
+    "spin_glass_graph",
+    "weighted_graph_suite",
 ]

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.datasets.random_graphs import random_graph_suite
 from repro.datasets.synthetic import aids_like_graph, imdb_like_graph, linux_like_graph
+from repro.datasets.weighted import weighted_graph_suite
 from repro.utils.rng import as_generator
 
 __all__ = ["DATASET_NAMES", "load_dataset"]
@@ -25,7 +26,15 @@ _SPECS = {
     "imdb": (imdb_like_graph, 1500, (7, 89)),
 }
 
-DATASET_NAMES = ("aids", "linux", "imdb", "random")
+# Weighted workloads (beyond the paper's Table 1): ER graphs with random
+# edge weights; "spinglass" draws Rademacher +/-1 couplings.
+_WEIGHTED_SPECS = {
+    "weighted-uniform": "uniform",
+    "weighted-gaussian": "gaussian",
+    "spinglass": "spin",
+}
+
+DATASET_NAMES = ("aids", "linux", "imdb", "random") + tuple(_WEIGHTED_SPECS)
 
 
 def load_dataset(
@@ -48,6 +57,14 @@ def load_dataset(
             count=count if count is not None else 10,
             min_nodes=min_nodes if min_nodes is not None else 7,
             max_nodes=max_nodes if max_nodes is not None else 20,
+            seed=seed,
+        )
+    if name in _WEIGHTED_SPECS:
+        return weighted_graph_suite(
+            count=count if count is not None else 10,
+            min_nodes=min_nodes if min_nodes is not None else 7,
+            max_nodes=max_nodes if max_nodes is not None else 20,
+            distribution=_WEIGHTED_SPECS[name],
             seed=seed,
         )
     if name not in _SPECS:

@@ -14,9 +14,13 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
-from repro.utils.graphs import average_node_degree
+from repro.utils.graphs import (
+    average_node_degree,
+    average_node_strength,
+    is_weighted as is_weighted_graph,
+)
 
-__all__ = ["DatasetStats", "dataset_stats", "is_regular"]
+__all__ = ["DatasetStats", "dataset_stats", "is_regular", "is_weighted_graph"]
 
 
 def is_regular(graph: nx.Graph) -> bool:
@@ -27,7 +31,12 @@ def is_regular(graph: nx.Graph) -> bool:
 
 @dataclass(frozen=True)
 class DatasetStats:
-    """Aggregate statistics of one graph dataset."""
+    """Aggregate statistics of one graph dataset.
+
+    ``mean_strength`` is the mean weighted AND (node strength); it equals
+    ``mean_and`` on unit-weight datasets.  ``weighted_fraction`` is the
+    fraction of graphs carrying non-unit edge weights.
+    """
 
     name: str
     num_graphs: int
@@ -37,15 +46,23 @@ class DatasetStats:
     mean_edges: float
     mean_and: float
     regular_fraction: float
+    mean_strength: float = float("nan")
+    weighted_fraction: float = 0.0
 
     def as_row(self) -> str:
         """One formatted Table 1-style row."""
-        return (
+        row = (
             f"{self.name:<8} {self.num_graphs:>6} graphs  "
             f"nodes {self.min_nodes}-{self.max_nodes} (avg {self.mean_nodes:.1f})  "
             f"avg edges {self.mean_edges:.1f}  AND {self.mean_and:.2f}  "
             f"regular {100 * self.regular_fraction:.1f}%"
         )
+        if self.weighted_fraction > 0.0:
+            row += (
+                f"  strength {self.mean_strength:.2f}  "
+                f"weighted {100 * self.weighted_fraction:.1f}%"
+            )
+        return row
 
 
 def dataset_stats(name: str, graphs: list[nx.Graph]) -> DatasetStats:
@@ -55,7 +72,9 @@ def dataset_stats(name: str, graphs: list[nx.Graph]) -> DatasetStats:
     nodes = np.array([g.number_of_nodes() for g in graphs])
     edges = np.array([g.number_of_edges() for g in graphs])
     ands = np.array([average_node_degree(g) for g in graphs])
+    strengths = np.array([average_node_strength(g) for g in graphs])
     regular = np.array([is_regular(g) for g in graphs])
+    weighted = np.array([is_weighted_graph(g) for g in graphs])
     return DatasetStats(
         name=name,
         num_graphs=len(graphs),
@@ -65,4 +84,6 @@ def dataset_stats(name: str, graphs: list[nx.Graph]) -> DatasetStats:
         mean_edges=float(edges.mean()),
         mean_and=float(ands.mean()),
         regular_fraction=float(regular.mean()),
+        mean_strength=float(strengths.mean()),
+        weighted_fraction=float(weighted.mean()),
     )

@@ -30,7 +30,7 @@ import math
 
 import networkx as nx
 
-from repro.utils.graphs import ensure_graph
+from repro.utils.graphs import ensure_graph, is_weighted
 
 __all__ = [
     "maxcut_p1_edge_expectation",
@@ -115,10 +115,7 @@ def maxcut_p1_expectation(graph: nx.Graph, gamma: float, beta: float) -> float:
     (O(|E| * maxdeg)).
     """
     ensure_graph(graph)
-    weighted = any(
-        data.get("weight", 1.0) != 1.0 for _, _, data in graph.edges(data=True)
-    )
-    if not weighted:
+    if not is_weighted(graph):
         adjacency = {node: set(graph.neighbors(node)) for node in graph.nodes()}
         total = 0.0
         for u, v in graph.edges():

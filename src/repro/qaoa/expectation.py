@@ -1,14 +1,25 @@
 """Expectation-value dispatch: pick the right engine for the problem size.
 
-``maxcut_expectation`` chooses among three exact engines:
+``maxcut_expectation`` chooses among three exact engines, all of which
+honor the ``weight`` edge attribute (weighted MaxCut / random Ising):
 
-- **statevector** (:mod:`repro.qaoa.fast_sim`) for graphs up to
-  ``exact_limit`` nodes -- fastest and exact for any depth;
-- **analytic** (:mod:`repro.qaoa.analytic`) for p=1 at any size -- O(|E|);
-- **lightcone** (:mod:`repro.qaoa.lightcone`) for deeper circuits on large
-  sparse graphs.
+========================  =========  ==========================================
+condition (``auto``)      engine     notes
+========================  =========  ==========================================
+``n <= exact_limit``      statevector  :mod:`repro.qaoa.fast_sim`; exact for
+                                       any depth, weighted diagonal
+``p == 1`` (any size)     analytic     :mod:`repro.qaoa.analytic`; O(|E|)
+                                       unweighted closed form, or the weighted
+                                       product form (Ozaeta et al. 2022) when
+                                       any edge weight differs from 1
+otherwise                 lightcone    :mod:`repro.qaoa.lightcone`; per-edge
+                                       ``w_uv P(cut)`` terms on weighted
+                                       distance-p subgraphs, memoized by a
+                                       canonical weighted signature
+========================  =========  ==========================================
 
-``noisy_maxcut_expectation`` runs the fast Pauli-trajectory noisy path.
+``noisy_maxcut_expectation`` runs the fast Pauli-trajectory noisy path
+(statevector-based, so it also honors weights).
 """
 
 from __future__ import annotations

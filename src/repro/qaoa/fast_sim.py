@@ -176,6 +176,15 @@ class FastNoiseSpec:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("edge_phase_bias", "node_mixer_bias"):
+            biases = getattr(self, name)
+            if biases is None:
+                continue
+            for index, bias in enumerate(biases):
+                if not math.isfinite(bias):
+                    raise ValueError(
+                        f"{name}[{index}] must be finite, got {bias!r}"
+                    )
 
     @classmethod
     def from_backend(cls, backend, routing_overhead: float = 1.5) -> "FastNoiseSpec":

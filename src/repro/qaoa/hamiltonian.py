@@ -15,7 +15,7 @@ from __future__ import annotations
 import networkx as nx
 import numpy as np
 
-from repro.utils.graphs import edge_list, ensure_graph, relabel_to_range
+from repro.utils.graphs import edge_list, ensure_graph, is_weighted, relabel_to_range
 
 __all__ = ["MaxCutHamiltonian", "cut_values"]
 
@@ -65,7 +65,7 @@ class MaxCutHamiltonian:
     @property
     def is_weighted(self) -> bool:
         """Whether any edge carries a non-unit weight."""
-        return any(w != 1.0 for w in self.weights)
+        return is_weighted(self.graph)
 
     @property
     def diagonal(self) -> np.ndarray:

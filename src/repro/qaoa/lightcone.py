@@ -6,6 +6,12 @@ within graph distance ``p`` of the edge (paper Sec. 3.3, following Farhi et
 al.).  Evaluating each edge term on its own small subgraph makes exact
 expectations possible for graphs far beyond full-statevector reach, as long
 as the graph is sparse enough that the distance-p neighborhoods stay small.
+
+Edge weights (the ``weight`` edge attribute, default 1) are honored
+throughout: the lightcone state evolves under the weighted cost Hamiltonian
+of the subgraph, the edge term is ``w_uv * P(edge cut)``, and the
+memoization signature embeds the canonical weighted edge list so lightcones
+that differ only in weights never share a cached value.
 """
 
 from __future__ import annotations
@@ -48,13 +54,18 @@ def lightcone_expectation(
     gammas: Sequence[float],
     betas: Sequence[float],
     max_qubits: int = 20,
+    stats: dict | None = None,
 ) -> float:
     """Exact QAOA expectation via per-edge lightcone simulation.
 
     Raises :class:`LightconeTooLargeError` when some edge's distance-p
     neighborhood exceeds ``max_qubits`` nodes.  Identical lightcones (up to
-    the relabeled (edge, subgraph) signature) are evaluated once and reused,
-    which is what makes regular-ish graphs cheap.
+    the relabeled weighted (edge, subgraph) signature) are evaluated once
+    and reused, which is what makes regular-ish graphs cheap.
+
+    When ``stats`` is a dict it is updated in place with ``edges`` (terms
+    summed), ``evaluations`` (distinct lightcones simulated) and ``hits``
+    (cache reuses) so callers can assert on memoization effectiveness.
     """
     ensure_graph(graph)
     gammas = list(gammas)
@@ -64,6 +75,7 @@ def lightcone_expectation(
     p = len(gammas)
     cache: dict[object, float] = {}
     total = 0.0
+    num_edges = 0
     for edge in graph.edges():
         nodes = edge_lightcone(graph, edge, p)
         if len(nodes) > max_qubits:
@@ -75,39 +87,92 @@ def lightcone_expectation(
         if key not in cache:
             cache[key] = _edge_term(graph, edge, nodes, gammas, betas)
         total += cache[key]
+        num_edges += 1
+    if stats is not None:
+        stats.update(
+            edges=num_edges,
+            evaluations=len(cache),
+            hits=num_edges - len(cache),
+        )
     return total
 
 
-def _signature(graph: nx.Graph, edge: tuple[int, int], nodes: set) -> object:
-    """Hashable key for a (subgraph, marked edge) pair after relabeling.
+def _edge_weight(graph: nx.Graph, u, v) -> float:
+    return float(graph[u][v].get("weight", 1.0))
 
-    A cheap canonical form: relabel nodes by (distance-to-edge, degree-in-
-    subgraph, tie-break by BFS order).  Collisions across genuinely distinct
-    lightcones are possible in principle, so the signature also embeds the
-    full relabeled edge multiset; two lightcones with equal signatures are
-    isomorphic *with the marked edge fixed* for all structures occurring in
-    our benchmarks, and a wrong merge would only occur for non-isomorphic
-    graphs sharing an identical canonical edge list, which cannot happen
-    (the edge list determines the graph).
+
+def _signature(graph: nx.Graph, edge: tuple[int, int], nodes: set) -> object:
+    """Hashable key for a weighted (subgraph, marked edge) pair after relabeling.
+
+    A cheap canonical form: relabel nodes by BFS from the marked edge,
+    ordering by a label-independent structural key -- distance to the edge,
+    subgraph degree, and the multiset of incident edge weights, sharpened by
+    two rounds of Weisfeiler-Leman-style neighborhood refinement.  The key
+    never consults original node labels (they only break exact structural
+    ties, which costs cache hits, never correctness), so isomorphic
+    lightcones with different labelings normally hash identically.
+
+    Collisions across genuinely distinct lightcones cannot cause a wrong
+    merge: the signature embeds the full relabeled *weighted* edge list, and
+    the weighted edge list determines the subgraph, so equal signatures mean
+    the lightcones are isomorphic (marked edge fixed, weights matching) and
+    their edge terms are equal.
     """
     sub = graph.subgraph(nodes)
     u, v = edge
+
+    dist = {u: 0, v: 0}
+    frontier = [u, v]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for nbr in sub.neighbors(node):
+                if nbr not in dist:
+                    dist[nbr] = dist[node] + 1
+                    nxt.append(nbr)
+        frontier = nxt
+
+    key = {
+        node: (
+            dist[node],
+            sub.degree(node),
+            tuple(sorted(_edge_weight(sub, node, nbr) for nbr in sub.neighbors(node))),
+        )
+        for node in sub.nodes()
+    }
+    for _ in range(2):
+        key = {
+            node: (
+                key[node],
+                tuple(
+                    sorted(
+                        (key[nbr], _edge_weight(sub, node, nbr))
+                        for nbr in sub.neighbors(node)
+                    )
+                ),
+            )
+            for node in sub.nodes()
+        }
+
     order: dict[int, int] = {}
-    frontier = sorted([u, v], key=lambda x: (sub.degree(x), x))
-    for node in frontier:
+    start = sorted(sorted([u, v]), key=lambda x: key[x])
+    for node in start:
         order[node] = len(order)
-    queue = list(frontier)
+    queue = list(start)
     while queue:
         node = queue.pop(0)
         nbrs = sorted(
-            (n for n in sub.neighbors(node) if n not in order),
-            key=lambda x: (sub.degree(x), x),
+            sorted(n for n in sub.neighbors(node) if n not in order),
+            key=lambda x: key[x],
         )
         for n in nbrs:
             order[n] = len(order)
             queue.append(n)
-    edges = frozenset(
-        (min(order[a], order[b]), max(order[a], order[b])) for a, b in sub.edges()
+    edges = tuple(
+        sorted(
+            (min(order[a], order[b]), max(order[a], order[b]), _edge_weight(sub, a, b))
+            for a, b in sub.edges()
+        )
     )
     marked = (min(order[u], order[v]), max(order[u], order[v]))
     return (marked, edges)
@@ -120,7 +185,13 @@ def _edge_term(
     gammas: Sequence[float],
     betas: Sequence[float],
 ) -> float:
-    """Evaluate ``<C_uv>`` exactly on the induced lightcone subgraph."""
+    """Evaluate ``<C_uv> = w_uv P(edge cut)`` on the induced lightcone subgraph.
+
+    The state evolves under the *weighted* cost Hamiltonian of the subgraph
+    (relabeling preserves edge data), and the measured edge observable is
+    scaled by the marked edge's weight, matching the per-edge term of
+    ``H_c = sum w_ij (I - Z_i Z_j) / 2``.
+    """
     sub = graph.subgraph(nodes)
     ordered = sorted(sub.nodes())
     mapping = {node: index for index, node in enumerate(ordered)}
@@ -130,4 +201,4 @@ def _edge_term(
     u, v = mapping[edge[0]], mapping[edge[1]]
     z = np.arange(probs.size, dtype=np.uint64)
     cut = ((z >> np.uint64(u)) ^ (z >> np.uint64(v))) & np.uint64(1)
-    return float(probs @ cut.astype(float))
+    return _edge_weight(graph, *edge) * float(probs @ cut.astype(float))

@@ -17,10 +17,12 @@ from repro.utils.rng import as_generator
 
 __all__ = [
     "average_node_degree",
+    "average_node_strength",
     "connected_random_subgraph",
     "edge_list",
     "ensure_graph",
     "is_connected_subset",
+    "is_weighted",
     "neighbor_swap",
     "relabel_to_range",
     "nonisomorphic_connected_subgraphs",
@@ -52,6 +54,24 @@ def average_node_degree(graph: nx.Graph) -> float:
     return 2.0 * graph.number_of_edges() / n
 
 
+def average_node_strength(graph: nx.Graph) -> float:
+    """Weighted AND (average node *strength*): ``2 * sum_e |w_e| / |V|``.
+
+    The weighted generalization of :func:`average_node_degree` used by the
+    SA reducer on weighted instances: node strength (sum of incident edge
+    weight magnitudes) replaces degree, so the reducer preserves weighted
+    rather than combinatorial connectivity.  Magnitudes, not signed weights:
+    the QAOA cost layer enters through ``cos(gamma * w)``, which is even in
+    ``w``, and signed sums cancel to zero on +/-1 spin-glass instances,
+    which would leave the annealer with no signal.  On unit-weight graphs
+    the magnitude sum is exactly the edge count, so this is bit-identical
+    to the unweighted AND.
+    """
+    ensure_graph(graph)
+    total = sum(abs(data.get("weight", 1.0)) for _, _, data in graph.edges(data=True))
+    return 2.0 * total / graph.number_of_nodes()
+
+
 def edge_list(graph: nx.Graph) -> list[tuple[int, int]]:
     """Edges of ``graph`` as ``(min, max)`` tuples, lexicographically sorted."""
     return sorted((min(u, v), max(u, v)) for u, v in graph.edges())
@@ -71,6 +91,17 @@ def relabel_to_range(graph: nx.Graph) -> nx.Graph:
         ordered = list(graph.nodes())
     mapping = {node: index for index, node in enumerate(ordered)}
     return nx.relabel_nodes(graph, mapping)
+
+
+def is_weighted(graph: nx.Graph) -> bool:
+    """Whether any edge carries a non-unit ``weight`` attribute.
+
+    The single weightedness predicate shared by engine dispatch, dataset
+    stats, and the reduction cache, so they can never drift apart.
+    """
+    return any(
+        data.get("weight", 1.0) != 1.0 for _, _, data in graph.edges(data=True)
+    )
 
 
 def is_connected_subset(graph: nx.Graph, nodes: Iterable) -> bool:

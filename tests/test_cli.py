@@ -64,3 +64,36 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["not-a-command"])
+
+
+class TestWeightedFlags:
+    def test_mse_noisy_weighted(self, capsys):
+        code = main([
+            "mse-noisy", "-n", "7", "--width", "5", "--shots", "128",
+            "--trajectories", "2", "--seed", "0", "--weighted",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "uniform-weighted" in out
+
+    def test_mse_ideal_spinglass_dataset(self, capsys):
+        code = main([
+            "mse-ideal", "--graph-set", "spinglass", "--num-graphs", "2",
+            "--p", "1", "--num-points", "32", "--min-nodes", "5",
+            "--max-nodes", "8",
+        ])
+        assert code == 0
+        assert "mean MSE" in capsys.readouterr().out
+
+    def test_end_to_end_weighted(self, capsys):
+        code = main([
+            "end-to-end", "--p", "1", "--num-graphs", "1", "--num-nodes", "7",
+            "--restarts", "2", "--maxiter", "10",
+            "--weighted", "--weight-dist", "gaussian",
+        ])
+        assert code == 0
+        assert "best result" in capsys.readouterr().out
+
+    def test_weight_dist_validated(self):
+        with pytest.raises(SystemExit):
+            main(["end-to-end", "--weighted", "--weight-dist", "exponential"])

@@ -113,3 +113,31 @@ class TestLandscapeQualityOfHits:
         for seed in range(8):
             cache.reduce(_connected_er(10 + seed % 3, 0.45, 20 + seed))
         assert cache.hit_rate >= 0.5
+
+
+class TestWeightedIsolation:
+    def test_weighted_query_never_hits_unweighted_bank(self):
+        """A spin-glass instance must not reuse a weight-blind reduction."""
+        from repro.datasets import attach_weights
+
+        cache = ReductionCache(reducer=GraphReducer(seed=0))
+        base = _connected_er(10, 0.45, 0)
+        cache.reduce(base)
+        weighted = attach_weights(
+            _connected_er(11, 0.45, 1), "spin", seed=1
+        )
+        assert cache.lookup(weighted) is None
+        _, hit = cache.reduce(weighted)
+        assert not hit
+
+    def test_weighted_bank_serves_weighted_queries(self):
+        from repro.datasets import attach_weights
+
+        cache = ReductionCache(reducer=GraphReducer(seed=0))
+        cache.reduce(attach_weights(_connected_er(10, 0.45, 2), "uniform", seed=2))
+        entry = cache._entries[0]
+        assert entry.weighted
+        similar = attach_weights(_connected_er(11, 0.45, 3), "uniform", seed=3)
+        found = cache.lookup(similar)
+        if found is not None:
+            assert found.weighted

@@ -100,3 +100,30 @@ class TestAdaptiveCooling:
             new_t = schedule.next_temperature(t, accepted=step % 3 == 0)
             assert new_t < t
             t = new_t
+
+
+class TestWeightedObjective:
+    def _weighted_star(self):
+        g = nx.star_graph(4)  # edges (0,1)..(0,4)
+        for index, (u, v) in enumerate(g.edges()):
+            g[u][v]["weight"] = float(index + 1)
+        return g
+
+    def test_subgraph_and_uses_strength(self):
+        g = self._weighted_star()
+        # Induced subgraph {0, 1} keeps only edge (0, 1) of weight 1.
+        assert subgraph_and(g, {0, 1}) == pytest.approx(1.0)
+        # {0, 4} keeps edge (0, 4) of weight 4: strength AND = 2*4/2.
+        assert subgraph_and(g, {0, 4}) == pytest.approx(4.0)
+
+    def test_objective_zero_when_strength_matches(self):
+        g = self._weighted_star()
+        assert and_difference_objective(g, set(g.nodes())) == 0.0
+
+    def test_unit_weights_bit_identical(self):
+        g = nx.erdos_renyi_graph(9, 0.4, seed=2)
+        h = nx.Graph(g)
+        for u, v in h.edges():
+            h[u][v]["weight"] = 1.0
+        for nodes in ({0, 1, 2}, set(range(6)), set(g.nodes())):
+            assert and_difference_objective(g, nodes) == and_difference_objective(h, nodes)

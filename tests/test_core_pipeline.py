@@ -161,3 +161,32 @@ class TestWarmStartIntegration:
         warm = RedQAOA(seed=3, restarts=3, maxiter=20, finetune_maxiter=0,
                        warm_start=True).run(g)
         assert warm.expectation >= cold.expectation - 0.5
+
+
+class TestWeightedPipeline:
+    def _weighted_er(self, n, p, seed):
+        from repro.datasets import attach_weights
+
+        return attach_weights(_connected_er(n, p, seed), "uniform",
+                              low=0.3, high=2.0, seed=seed)
+
+    def test_weighted_run_end_to_end(self):
+        g = self._weighted_er(10, 0.4, 8)
+        red = RedQAOA(seed=8, restarts=2, maxiter=30, finetune_maxiter=5)
+        result = red.run(g)
+        # Cut value is the weighted cut of the returned assignment.
+        assert result.cut_value == pytest.approx(cut_size(g, result.assignment))
+        optimum, _ = brute_force_maxcut(g)
+        assert result.cut_value <= optimum + 1e-9
+        assert result.cut_value >= 0.8 * optimum
+        # The ideal expectation is computed on the weighted instance.
+        total_weight = sum(d["weight"] for _, _, d in g.edges(data=True))
+        assert 0 < result.expectation <= total_weight
+
+    def test_weighted_reduction_keeps_weights(self):
+        g = self._weighted_er(12, 0.4, 9)
+        red = RedQAOA(seed=9, restarts=2, maxiter=20, finetune_maxiter=0)
+        reduction = red.reduce(g)
+        assert all(
+            "weight" in d for _, _, d in reduction.reduced_graph.edges(data=True)
+        )

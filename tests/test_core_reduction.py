@@ -131,3 +131,40 @@ def test_property_reducer_invariants(seed):
     ratio = average_node_degree(result.reduced_graph) / average_node_degree(g)
     ratio = ratio if ratio <= 1 else 1 / ratio
     assert result.and_ratio == pytest.approx(ratio)
+
+
+class TestWeightedReduction:
+    def _weighted_er(self, n, p, seed):
+        from repro.datasets import attach_weights
+
+        offset = 0
+        while True:
+            g = nx.erdos_renyi_graph(n, p, seed=seed + offset)
+            if g.number_of_edges() and nx.is_connected(g):
+                return attach_weights(g, "uniform", low=0.2, high=3.0, seed=seed)
+            offset += 100
+
+    def test_weighted_reduction_preserves_strength_ratio(self):
+        from repro.utils.graphs import average_node_strength
+
+        g = self._weighted_er(14, 0.4, 0)
+        result = GraphReducer(seed=0).reduce(g)
+        expected = average_node_strength(result.reduced_graph) / average_node_strength(g)
+        expected = expected if expected <= 1.0 else 1.0 / expected
+        assert result.and_ratio == pytest.approx(expected)
+        assert result.and_ratio >= 0.7
+        # Edge data survives the reduction and relabeling.
+        assert all("weight" in d for _, _, d in result.reduced_graph.edges(data=True))
+
+    def test_unit_weights_reduce_identically(self):
+        """Explicit 1.0 weights must not change the reducer's decisions."""
+        g = nx.erdos_renyi_graph(12, 0.45, seed=3)
+        if not nx.is_connected(g):
+            g = nx.erdos_renyi_graph(12, 0.45, seed=103)
+        h = nx.Graph(g)
+        for u, v in h.edges():
+            h[u][v]["weight"] = 1.0
+        a = GraphReducer(seed=5).reduce(g)
+        b = GraphReducer(seed=5).reduce(h)
+        assert a.nodes == b.nodes
+        assert a.and_ratio == b.and_ratio

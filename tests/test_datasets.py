@@ -7,14 +7,17 @@ import pytest
 from repro.datasets import (
     DATASET_NAMES,
     aids_like_graph,
+    attach_weights,
     dataset_stats,
     imdb_like_graph,
     linux_like_graph,
     load_dataset,
     random_connected_gnp,
     random_graph_suite,
+    spin_glass_graph,
+    weighted_graph_suite,
 )
-from repro.datasets.stats import is_regular
+from repro.datasets.stats import is_regular, is_weighted_graph
 from repro.utils.graphs import average_node_degree
 
 
@@ -116,7 +119,10 @@ class TestRegistry:
         assert len(load_dataset("aids", count=None, seed=0, max_nodes=4)) == 700
 
     def test_dataset_names_constant(self):
-        assert set(DATASET_NAMES) == {"aids", "linux", "imdb", "random"}
+        assert set(DATASET_NAMES) == {
+            "aids", "linux", "imdb", "random",
+            "weighted-uniform", "weighted-gaussian", "spinglass",
+        }
 
     def test_seeded_loading_reproducible(self):
         a = load_dataset("linux", count=5, seed=3)
@@ -147,3 +153,69 @@ class TestStats:
         assert is_regular(nx.cycle_graph(5))
         assert is_regular(nx.complete_graph(4))
         assert not is_regular(nx.path_graph(4))
+
+
+class TestWeightedGenerators:
+    def test_attach_weights_uniform_range(self):
+        g = attach_weights(nx.cycle_graph(8), "uniform", low=0.5, high=1.5, seed=0)
+        weights = [d["weight"] for _, _, d in g.edges(data=True)]
+        assert len(weights) == 8
+        assert all(0.5 <= w < 1.5 for w in weights)
+
+    def test_attach_weights_does_not_mutate_input(self):
+        g = nx.cycle_graph(5)
+        attach_weights(g, "uniform", seed=0)
+        assert all("weight" not in d for _, _, d in g.edges(data=True))
+
+    def test_attach_weights_reproducible(self):
+        a = attach_weights(nx.path_graph(6), "gaussian", seed=3)
+        b = attach_weights(nx.path_graph(6), "gaussian", seed=3)
+        assert [d["weight"] for _, _, d in a.edges(data=True)] == [
+            d["weight"] for _, _, d in b.edges(data=True)
+        ]
+
+    def test_spin_weights_are_rademacher(self):
+        g = attach_weights(nx.complete_graph(7), "spin", seed=1)
+        assert {d["weight"] for _, _, d in g.edges(data=True)} <= {-1.0, 1.0}
+
+    def test_spin_glass_graph(self):
+        g = spin_glass_graph(9, 0.5, seed=2)
+        assert nx.is_connected(g)
+        assert {d["weight"] for _, _, d in g.edges(data=True)} <= {-1.0, 1.0}
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            attach_weights(nx.path_graph(3), "lognormal")
+
+    def test_weighted_suite_counts_and_weights(self):
+        graphs = weighted_graph_suite(count=6, min_nodes=5, max_nodes=9, seed=0)
+        assert len(graphs) == 6
+        for g in graphs:
+            assert 5 <= g.number_of_nodes() <= 9
+            assert nx.is_connected(g)
+            assert all("weight" in d for _, _, d in g.edges(data=True))
+
+    def test_registry_weighted_datasets(self):
+        for name in ("weighted-uniform", "weighted-gaussian", "spinglass"):
+            graphs = load_dataset(name, count=4, min_nodes=5, max_nodes=8, seed=1)
+            assert len(graphs) == 4
+            assert all(is_weighted_graph(g) for g in graphs)
+
+    def test_weighted_stats(self):
+        graphs = load_dataset("weighted-uniform", count=5, min_nodes=5, max_nodes=8, seed=0)
+        stats = dataset_stats("weighted-uniform", graphs)
+        assert stats.weighted_fraction == 1.0
+        assert stats.mean_strength != stats.mean_and
+        assert "weighted" in stats.as_row()
+
+    def test_spin_glass_strength_is_degree(self):
+        """+/-1 couplings have unit magnitude: strength AND equals AND."""
+        graphs = load_dataset("spinglass", count=5, min_nodes=5, max_nodes=8, seed=0)
+        stats = dataset_stats("spinglass", graphs)
+        assert stats.mean_strength == pytest.approx(stats.mean_and)
+
+    def test_unweighted_stats_strength_equals_and(self):
+        graphs = load_dataset("aids", count=5, seed=0)
+        stats = dataset_stats("aids", graphs)
+        assert stats.weighted_fraction == 0.0
+        assert stats.mean_strength == stats.mean_and

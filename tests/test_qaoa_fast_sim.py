@@ -117,6 +117,18 @@ class TestFastNoiseSpec:
         with pytest.raises(ValueError):
             FastNoiseSpec(node_error=-0.1)
 
+    def test_non_finite_biases_rejected(self):
+        with pytest.raises(ValueError, match="edge_phase_bias"):
+            FastNoiseSpec(edge_phase_bias=(0.01, float("nan")))
+        with pytest.raises(ValueError, match="node_mixer_bias"):
+            FastNoiseSpec(node_mixer_bias=(float("inf"),))
+        with pytest.raises(ValueError, match=r"\[0\]"):
+            FastNoiseSpec(edge_phase_bias=(float("-inf"), 0.02))
+
+    def test_finite_biases_accepted(self):
+        spec = FastNoiseSpec(edge_phase_bias=(0.01, -0.02), node_mixer_bias=(0.0,))
+        assert spec.edge_phase_bias == (0.01, -0.02)
+
     def test_from_backend(self):
         from repro.quantum.backends import get_backend
 

@@ -82,3 +82,44 @@ class TestLightconeExpectation:
         g = nx.random_regular_graph(3, 60, seed=0)
         value = lightcone_expectation(g, [0.4, 0.9], [0.2, 0.6])
         assert 0 <= value <= g.number_of_edges()
+
+
+class TestSignatureCache:
+    def test_cycle_single_evaluation(self):
+        """Every lightcone of a long cycle is isomorphic: one simulation."""
+        stats = {}
+        lightcone_expectation(nx.cycle_graph(30), [0.5], [0.3], stats=stats)
+        assert stats == {"edges": 30, "evaluations": 1, "hits": 29}
+
+    def test_regular_graph_hit_rate(self):
+        """On a 3-regular graph most p=2 lightcones repeat; the canonical
+        signature must merge them (>50% hit rate)."""
+        stats = {}
+        lightcone_expectation(
+            nx.random_regular_graph(3, 60, seed=0), [0.4, 0.9], [0.2, 0.6], stats=stats
+        )
+        assert stats["edges"] == 90
+        assert stats["hits"] / stats["edges"] > 0.5
+
+    def test_signature_is_label_independent(self):
+        """Relabeling the graph must not change value or evaluation count."""
+        g = nx.random_regular_graph(3, 40, seed=3)
+        perm = list(range(40))
+        np.random.default_rng(9).shuffle(perm)
+        h = nx.relabel_nodes(g, dict(zip(g.nodes(), perm)))
+        s_g, s_h = {}, {}
+        v_g = lightcone_expectation(g, [0.4, 0.9], [0.2, 0.6], stats=s_g)
+        v_h = lightcone_expectation(h, [0.4, 0.9], [0.2, 0.6], stats=s_h)
+        assert v_g == pytest.approx(v_h, abs=1e-12)
+        assert s_g["evaluations"] == s_h["evaluations"]
+
+    def test_weighted_lightcones_not_merged(self):
+        """Identical topology with different weights must evaluate separately."""
+        g = nx.cycle_graph(12)
+        rng = np.random.default_rng(4)
+        for u, v in g.edges():
+            g[u][v]["weight"] = float(rng.uniform(0.5, 1.5))
+        stats = {}
+        lightcone_expectation(g, [0.5], [0.3], stats=stats)
+        # All 12 lightcones share a topology but carry distinct weights.
+        assert stats["evaluations"] == 12

@@ -223,3 +223,28 @@ def test_property_subgraph_sampling_always_connected(n, seed):
     nodes = connected_random_subgraph(graph, size, seed=rng)
     assert len(nodes) == size
     assert nx.is_connected(graph.subgraph(nodes))
+
+
+class TestAverageNodeStrength:
+    def test_unit_weights_equal_degree(self):
+        from repro.utils.graphs import average_node_strength
+
+        g = nx.erdos_renyi_graph(9, 0.4, seed=1)
+        assert average_node_strength(g) == average_node_degree(g)
+
+    def test_weighted_value(self):
+        from repro.utils.graphs import average_node_strength
+
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=2.0)
+        g.add_edge(1, 2, weight=0.5)
+        assert average_node_strength(g) == pytest.approx(2 * 2.5 / 3)
+
+    def test_negative_weights_use_magnitude(self):
+        """Spin-glass couplings count by |w|: signed sums would cancel."""
+        from repro.utils.graphs import average_node_strength
+
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=-1.0)
+        g.add_edge(1, 2, weight=1.0)
+        assert average_node_strength(g) == pytest.approx(2 * 2.0 / 3)
