@@ -1,0 +1,125 @@
+"""PR 3 performance tracking: incremental annealer + lightcone plan.
+
+Measures the two rewritten hot paths against their retained baselines on
+this box and emits ``BENCH_pr3.json`` at the repo root, so the perf
+trajectory is tracked from this PR onward:
+
+- SA reducer steps/sec at n in {100, 400, 1000} (connected ER instances,
+  same sizing rule as the Fig. 18 runtime study), incremental engine vs
+  the retained per-call networkx reference;
+- lightcone landscape points/sec on a 64-node 3-regular graph at p=2 over
+  384 random parameter sets, plan/evaluate engine vs the retained
+  per-call engine (timed on a subset -- it re-discovers structure every
+  point -- and extrapolated per point).
+
+Acceptance floors from the issue: >= 5x reducer steps/sec at n=400 and
+>= 10x lightcone points/sec, with the two engines agreeing to 1e-12.
+"""
+
+import json
+from pathlib import Path
+
+import networkx as nx
+import numpy as np
+
+from _common import header, row, run_once
+from repro.analysis.runtime import (
+    benchmark_graph,
+    measure_annealer_rate,
+    measure_lightcone_rate,
+)
+
+SA_SIZES = (100, 400, 1000)
+SA_STEPS_INCREMENTAL = 1000
+SA_STEPS_REFERENCE = {100: 300, 400: 200, 1000: 120}
+LIGHTCONE_NODES = 64
+LIGHTCONE_DEGREE = 3
+LIGHTCONE_P = 2
+LIGHTCONE_POINTS = 384
+LIGHTCONE_REFERENCE_POINTS = 6
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
+
+
+def _sa_section():
+    section = {}
+    for n in SA_SIZES:
+        graph = benchmark_graph(n, seed=1)
+        fast = measure_annealer_rate(
+            graph, max_steps=SA_STEPS_INCREMENTAL, seed=0, annealer="incremental"
+        )
+        slow = measure_annealer_rate(
+            graph, max_steps=SA_STEPS_REFERENCE[n], seed=0, annealer="reference"
+        )
+        section[str(n)] = {
+            "incremental_steps_per_sec": fast["steps_per_sec"],
+            "reference_steps_per_sec": slow["steps_per_sec"],
+            "speedup": fast["steps_per_sec"] / slow["steps_per_sec"],
+        }
+    return section
+
+
+def _lightcone_section():
+    graph = nx.random_regular_graph(LIGHTCONE_DEGREE, LIGHTCONE_NODES, seed=0)
+    from repro.qaoa.landscape import sample_parameter_sets
+
+    points = sample_parameter_sets(LIGHTCONE_P, LIGHTCONE_POINTS, seed=0)
+    plan = measure_lightcone_rate(
+        graph, LIGHTCONE_P, LIGHTCONE_POINTS, engine="plan", parameter_sets=points
+    )
+    percall = measure_lightcone_rate(
+        graph, LIGHTCONE_P, LIGHTCONE_REFERENCE_POINTS, engine="percall",
+        parameter_sets=points,
+    )
+    # The subsets share a seed, so the leading values must agree: the
+    # speedup claim only counts if both engines price the same landscape.
+    agreement = float(
+        np.abs(
+            plan["values"][:LIGHTCONE_REFERENCE_POINTS] - percall["values"]
+        ).max()
+    )
+    return {
+        "nodes": LIGHTCONE_NODES,
+        "degree": LIGHTCONE_DEGREE,
+        "p": LIGHTCONE_P,
+        "points": LIGHTCONE_POINTS,
+        "plan_points_per_sec": plan["points_per_sec"],
+        "percall_points_per_sec": percall["points_per_sec"],
+        "percall_points_timed": LIGHTCONE_REFERENCE_POINTS,
+        "speedup": plan["points_per_sec"] / percall["points_per_sec"],
+        "max_value_disagreement": agreement,
+    }
+
+
+def test_bench_pr3_emit(benchmark):
+    def experiment():
+        return {"sa_reducer": _sa_section(), "lightcone": _lightcone_section()}
+
+    results = run_once(benchmark, experiment)
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+
+    header(
+        "PR 3: incremental annealer + lightcone plan speedups",
+        sa_sizes=SA_SIZES,
+        lightcone=f"{LIGHTCONE_NODES}-node {LIGHTCONE_DEGREE}-regular "
+                  f"p={LIGHTCONE_P} x{LIGHTCONE_POINTS}",
+        output=OUTPUT.name,
+    )
+    for n, stats in results["sa_reducer"].items():
+        row(f"SA n={n}",
+            incremental=stats["incremental_steps_per_sec"],
+            reference=stats["reference_steps_per_sec"],
+            speedup=stats["speedup"])
+    cone = results["lightcone"]
+    row("lightcone",
+        plan=cone["plan_points_per_sec"],
+        percall=cone["percall_points_per_sec"],
+        speedup=cone["speedup"])
+
+    # Engines must price the same landscape before speed claims count.
+    assert cone["max_value_disagreement"] < 1e-12
+    # Issue acceptance floors.
+    assert results["sa_reducer"]["400"]["speedup"] >= 5.0
+    assert cone["speedup"] >= 10.0
+    # The fast paths should never lose at any measured size.
+    assert all(s["speedup"] > 1.0 for s in results["sa_reducer"].values())

@@ -6,11 +6,33 @@ node for an outside node, accept improvements always and regressions with
 Metropolis probability ``exp(-(f' - f) / T)``, and cool until ``T_f``.
 The objective is the AND difference against the original graph
 (:mod:`repro.core.objective`).
+
+Two engines share one annealing driver, so their RNG streams, acceptance
+decisions, and cooling updates are structurally identical:
+
+- :func:`simulated_annealing` (the default) keeps **incremental state**: a
+  flat CSR adjacency built once per call, the subgraph strength sum, the
+  outside set, and per-node "edges into subgraph" counters are maintained
+  under each swap, so one step costs ``O(deg(removed) + deg(added))`` plus
+  one connectivity BFS over the CSR instead of ``O(n + k * deg)`` of
+  networkx scans and subgraph copies.
+- :func:`reference_simulated_annealing` retains the original per-call
+  networkx recomputation (``neighbor_swap`` + induced-subgraph strength
+  sums).  It is the bit-identity oracle for the equivalence test suite and
+  the "before" baseline for the ``BENCH_*.json`` speedup measurements.
+
+Same-seed runs of the two engines return bit-identical
+:class:`AnnealResult` values (nodes, objective, steps, history): they draw
+the same RNG sequence, and both compute objectives as correctly-rounded
+strength sums -- the reference via ``math.fsum``, the incremental engine
+via exact dyadic-integer arithmetic -- which agree on every subgraph
+regardless of summation order.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 
 import networkx as nx
@@ -26,7 +48,9 @@ from repro.utils.graphs import (
 )
 from repro.utils.rng import as_generator
 
-__all__ = ["AnnealResult", "simulated_annealing"]
+__all__ = ["AnnealResult", "reference_simulated_annealing", "simulated_annealing"]
+
+_MAX_SWAP_ATTEMPTS = 200  # mirrors utils.graphs.neighbor_swap
 
 
 @dataclass
@@ -69,8 +93,40 @@ def simulated_annealing(
     ``max_steps`` is a safety bound on top of the temperature loop.
 
     Returns the best subgraph seen across the whole run (not merely the
-    final state), which only improves on the pseudocode.
+    final state), which only improves on the pseudocode.  Uses the
+    incremental-state engine; same-seed results are bit-identical to
+    :func:`reference_simulated_annealing`.
     """
+    return _anneal(
+        graph, k, initial_temperature, final_temperature, cooling, seed,
+        max_steps, _IncrementalState,
+    )
+
+
+def reference_simulated_annealing(
+    graph: nx.Graph,
+    k: int,
+    initial_temperature: float = 1.0,
+    final_temperature: float = 1e-3,
+    cooling: CoolingSchedule | str = "adaptive",
+    seed: int | np.random.Generator | None = None,
+    max_steps: int | None = None,
+) -> AnnealResult:
+    """:func:`simulated_annealing` with per-call networkx recomputation.
+
+    The retained pre-optimization implementation: every proposal runs
+    :func:`~repro.utils.graphs.neighbor_swap` (full outside scan plus an
+    induced-subgraph connectivity check) and re-sums the subgraph strength
+    from scratch.  Kept as the equivalence oracle and benchmark baseline;
+    prefer :func:`simulated_annealing` everywhere else.
+    """
+    return _anneal(
+        graph, k, initial_temperature, final_temperature, cooling, seed,
+        max_steps, _ReferenceState,
+    )
+
+
+def _anneal(graph, k, initial_temperature, final_temperature, cooling, seed, max_steps, state_factory):
     ensure_graph(graph)
     if not 1 <= k <= graph.number_of_nodes():
         raise ValueError(f"k must be in [1, {graph.number_of_nodes()}], got {k}")
@@ -86,9 +142,10 @@ def simulated_annealing(
     rng = as_generator(seed)
     target_and = average_node_strength(graph)
 
-    current = connected_random_subgraph(graph, k, rng)
-    current_obj = and_difference_objective(graph, current, target_and)
-    best = set(current)
+    start = connected_random_subgraph(graph, k, rng)
+    state = state_factory(graph, start, target_and)
+    current_obj = state.objective
+    best = set(start)
     best_obj = current_obj
     history = [best_obj]
 
@@ -96,8 +153,7 @@ def simulated_annealing(
     steps = 0
     limit = max_steps if max_steps is not None else _default_step_limit(graph, schedule)
     while temperature > final_temperature and steps < limit:
-        neighbor = neighbor_swap(graph, current, rng)
-        neighbor_obj = and_difference_objective(graph, neighbor, target_and)
+        neighbor_obj = state.propose(rng)
         accepted = False
         if neighbor_obj < current_obj:
             accepted = True
@@ -106,9 +162,10 @@ def simulated_annealing(
             if rng.random() < math.exp(-delta / temperature):
                 accepted = True
         if accepted:
-            current, current_obj = neighbor, neighbor_obj
+            state.commit()
+            current_obj = neighbor_obj
             if current_obj < best_obj:
-                best, best_obj = set(current), current_obj
+                best, best_obj = state.snapshot(), current_obj
         history.append(best_obj)
         temperature = schedule.next_temperature(temperature, accepted)
         steps += 1
@@ -122,6 +179,226 @@ def simulated_annealing(
         steps=steps,
         history=history,
     )
+
+
+class _ReferenceState:
+    """Per-call networkx recomputation (the original hot path)."""
+
+    def __init__(self, graph: nx.Graph, start: set, target_and: float) -> None:
+        self._graph = graph
+        self._target = target_and
+        self._current = set(start)
+        self._pending: set | None = None
+        self.objective = and_difference_objective(graph, self._current, target_and)
+
+    def propose(self, rng: np.random.Generator) -> float:
+        self._pending = neighbor_swap(self._graph, self._current, rng)
+        return and_difference_objective(self._graph, self._pending, self._target)
+
+    def commit(self) -> None:
+        if self._pending is not None:
+            self._current = self._pending
+
+    def snapshot(self) -> set:
+        return set(self._current)
+
+
+class _IncrementalState:
+    """CSR adjacency + incrementally maintained swap/objective state.
+
+    Draws the exact RNG sequence of :func:`~repro.utils.graphs.neighbor_swap`
+    (one ``integers`` call for the removed node per attempt, one for the
+    added node whenever the candidate list is non-empty) and computes the
+    exact objective the reference computes, but in
+    ``O(deg(removed) + deg(added))`` per proposal plus one CSR BFS for the
+    connectivity check -- no networkx scans, no subgraph copies.
+
+    Objective exactness: every ``|weight|`` is a dyadic rational, so the
+    subgraph strength sum is maintained as an exact integer numerator over
+    a common power-of-two denominator.  ``numerator / denominator`` is
+    correctly rounded, hence bit-equal to the reference's ``math.fsum``.
+    """
+
+    def __init__(self, graph: nx.Graph, start: set, target_and: float) -> None:
+        try:
+            labels = sorted(graph.nodes())
+        except TypeError:
+            labels = list(graph.nodes())
+        index = {node: i for i, node in enumerate(labels)}
+        n = len(labels)
+        self._labels = labels
+        self._target = target_and
+
+        # CSR adjacency with exact integer |weight| scaling.  Neighbor rows
+        # are sorted by index so candidate scans match sorted-label order.
+        indptr = [0] * (n + 1)
+        nbr: list[int] = []
+        w_int: list[int] = []
+        self_int = [0] * n
+        ratio_cache: dict[float, tuple[int, int]] = {}
+        denom = 1
+        rows: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        for node, adjacency in graph.adjacency():
+            i = index[node]
+            for other, data in adjacency.items():
+                weight = abs(float(data.get("weight", 1.0)))
+                if not math.isfinite(weight):
+                    raise ValueError(f"edge weight on ({node}, {other}) is not finite")
+                ratio = ratio_cache.get(weight)
+                if ratio is None:
+                    ratio = weight.as_integer_ratio()
+                    ratio_cache[weight] = ratio
+                    if ratio[1] > denom:
+                        denom = ratio[1]
+                rows[i].append((index[other], weight))
+        for i in range(n):
+            rows[i].sort()
+            for j, weight in rows[i]:
+                num, den = ratio_cache[weight]
+                scaled = num * (denom // den)
+                if j == i:
+                    self_int[i] = scaled
+                else:
+                    nbr.append(j)
+                    w_int.append(scaled)
+            indptr[i + 1] = len(nbr)
+        self._indptr = indptr
+        self._nbr = nbr
+        self._w_int = w_int
+        self._self_int = self_int
+        self._denom = denom
+
+        members = sorted(index[node] for node in start)
+        self._k = len(members)
+        in_sub = bytearray(n)
+        for i in members:
+            in_sub[i] = 1
+        self._in_sub = in_sub
+        cnt = [0] * n
+        for i in range(n):
+            cnt[i] = sum(in_sub[u] for u in nbr[indptr[i]:indptr[i + 1]])
+        self._cnt = cnt
+        self._inside = members
+        self._outside = [i for i in range(n) if not in_sub[i]]
+        self._active = [i for i in self._outside if cnt[i] > 0]
+        self._seen = [0] * n
+        self._bfs_id = 0
+
+        s2 = 0
+        for i in members:
+            for pos in range(indptr[i], indptr[i + 1]):
+                if in_sub[nbr[pos]]:
+                    s2 += w_int[pos]
+        self._s_int = (s2 >> 1) + sum(self_int[i] for i in members)
+        self.objective = self._objective_of(self._s_int)
+        self._pending: tuple[int, int, int] | None = None
+
+    def _objective_of(self, s_int: int) -> float:
+        # ``s_int / denom`` is the correctly rounded strength sum, matching
+        # the reference's ``math.fsum``; the remaining float ops mirror
+        # ``and_difference_objective`` exactly.
+        return abs(2.0 * (s_int / self._denom) / self._k - self._target)
+
+    # -- proposal ----------------------------------------------------------
+
+    def propose(self, rng: np.random.Generator) -> float:
+        self._pending = None
+        inside = self._inside
+        if not self._outside:
+            return self.objective
+        indptr, nbr, w_int = self._indptr, self._nbr, self._w_int
+        in_sub, cnt, active = self._in_sub, self._cnt, self._active
+        for _ in range(_MAX_SWAP_ATTEMPTS):
+            removed = inside[int(rng.integers(len(inside)))]
+            # Outside nodes whose only edge into the subgraph is `removed`:
+            # they drop out of the candidate list for this proposal.
+            disq = [
+                u
+                for u in nbr[indptr[removed]:indptr[removed + 1]]
+                if not in_sub[u] and cnt[u] == 1
+            ]
+            num_candidates = len(active) - len(disq)
+            if num_candidates <= 0:
+                continue
+            pick = int(rng.integers(num_candidates))
+            if disq:
+                for pos in sorted(bisect_left(active, u) for u in disq):
+                    if pos <= pick:
+                        pick += 1
+                    else:
+                        break
+            added = active[pick]
+            if self._k == 1 or self._connected_after(removed, added):
+                out_w = self._self_int[removed]
+                for pos in range(indptr[removed], indptr[removed + 1]):
+                    if in_sub[nbr[pos]]:
+                        out_w += w_int[pos]
+                in_w = self._self_int[added]
+                for pos in range(indptr[added], indptr[added + 1]):
+                    u = nbr[pos]
+                    if in_sub[u] and u != removed:
+                        in_w += w_int[pos]
+                s_new = self._s_int - out_w + in_w
+                self._pending = (removed, added, s_new)
+                return self._objective_of(s_new)
+        return self.objective
+
+    def _connected_after(self, removed: int, added: int) -> bool:
+        """BFS over the CSR restricted to ``(subgraph - removed) + added``."""
+        indptr, nbr, in_sub = self._indptr, self._nbr, self._in_sub
+        seen = self._seen
+        self._bfs_id += 1
+        mark = self._bfs_id
+        stack = [added]
+        seen[added] = mark
+        visited = 1
+        while stack:
+            v = stack.pop()
+            for u in nbr[indptr[v]:indptr[v + 1]]:
+                if seen[u] != mark and u != removed and (in_sub[u] or u == added):
+                    seen[u] = mark
+                    stack.append(u)
+                    visited += 1
+        return visited == self._k
+
+    # -- commit / snapshot -------------------------------------------------
+
+    def commit(self) -> None:
+        if self._pending is None:
+            return
+        removed, added, s_new = self._pending
+        self._s_int = s_new
+        indptr, nbr = self._indptr, self._nbr
+        cnt, in_sub = self._cnt, self._in_sub
+        for u in nbr[indptr[removed]:indptr[removed + 1]]:
+            cnt[u] -= 1
+        for u in nbr[indptr[added]:indptr[added + 1]]:
+            cnt[u] += 1
+        in_sub[removed] = 0
+        in_sub[added] = 1
+        inside, outside, active = self._inside, self._outside, self._active
+        del inside[bisect_left(inside, removed)]
+        insort(inside, added)
+        del outside[bisect_left(outside, added)]
+        insort(outside, removed)
+        del active[bisect_left(active, added)]
+        touched = {removed}
+        touched.update(nbr[indptr[removed]:indptr[removed + 1]])
+        touched.update(nbr[indptr[added]:indptr[added + 1]])
+        for v in touched:
+            if in_sub[v]:
+                continue
+            pos = bisect_left(active, v)
+            present = pos < len(active) and active[pos] == v
+            wanted = cnt[v] > 0
+            if wanted and not present:
+                active.insert(pos, v)
+            elif present and not wanted:
+                del active[pos]
+
+    def snapshot(self) -> set:
+        labels = self._labels
+        return {labels[i] for i in self._inside}
 
 
 def _resolve_cooling(cooling: CoolingSchedule | str) -> CoolingSchedule:

@@ -17,6 +17,7 @@ paper's unweighted AND difference.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable
 
 import networkx as nx
@@ -30,13 +31,16 @@ def subgraph_and(graph: nx.Graph, nodes: Iterable) -> float:
     """Weighted AND (strength) of the subgraph of ``graph`` induced by ``nodes``.
 
     Uses weight magnitudes, matching
-    :func:`~repro.utils.graphs.average_node_strength`.
+    :func:`~repro.utils.graphs.average_node_strength`.  The strength sum is
+    an ``math.fsum`` (correctly rounded, order-independent), which is what
+    lets the incremental annealer reproduce this value bit-for-bit from
+    exact integer updates.
     """
     nodes = set(nodes)
     if not nodes:
         raise ValueError("node set must be non-empty")
     sub = graph.subgraph(nodes)
-    total = sum(abs(data.get("weight", 1.0)) for _, _, data in sub.edges(data=True))
+    total = math.fsum(abs(data.get("weight", 1.0)) for _, _, data in sub.edges(data=True))
     return 2.0 * total / len(nodes)
 
 

@@ -14,7 +14,11 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
-from repro.core.annealer import AnnealResult, simulated_annealing
+from repro.core.annealer import (
+    AnnealResult,
+    reference_simulated_annealing,
+    simulated_annealing,
+)
 from repro.core.cooling import CoolingSchedule
 from repro.utils.graphs import average_node_strength, ensure_graph, relabel_to_range
 from repro.utils.rng import as_generator
@@ -78,6 +82,11 @@ class GraphReducer:
     retries:
         Annealing restarts per candidate size before declaring the size
         infeasible.
+    annealer:
+        ``"incremental"`` (default) runs the CSR incremental-state engine;
+        ``"reference"`` runs the retained per-call networkx implementation.
+        Same-seed results are bit-identical either way; the knob exists so
+        benchmarks can measure the speedup through the full reducer.
     """
 
     def __init__(
@@ -90,6 +99,7 @@ class GraphReducer:
         initial_temperature: float = 1.0,
         final_temperature: float = 1e-3,
         seed: int | np.random.Generator | None = None,
+        annealer: str = "incremental",
     ) -> None:
         if not 0.0 < and_ratio_threshold <= 1.0:
             raise ValueError(
@@ -103,6 +113,11 @@ class GraphReducer:
             )
         if retries < 1:
             raise ValueError(f"retries must be >= 1, got {retries}")
+        if annealer not in ("incremental", "reference"):
+            raise ValueError(
+                f"annealer must be 'incremental' or 'reference', got {annealer!r}"
+            )
+        self.annealer = annealer
         self.and_ratio_threshold = and_ratio_threshold
         self.min_nodes = min_nodes
         self.min_keep_fraction = min_keep_fraction
@@ -161,10 +176,15 @@ class GraphReducer:
 
     def _anneal_at_size(self, graph: nx.Graph, k: int) -> AnnealResult | None:
         """Best annealing outcome over ``retries`` runs, or None if impossible."""
+        anneal = (
+            simulated_annealing
+            if self.annealer == "incremental"
+            else reference_simulated_annealing
+        )
         best: AnnealResult | None = None
         for _ in range(self.retries):
             try:
-                result = simulated_annealing(
+                result = anneal(
                     graph,
                     k,
                     initial_temperature=self.initial_temperature,

@@ -8,6 +8,8 @@ indexed by position.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left, insort
 from collections.abc import Iterable, Sequence
 
 import networkx as nx
@@ -66,9 +68,13 @@ def average_node_strength(graph: nx.Graph) -> float:
     which would leave the annealer with no signal.  On unit-weight graphs
     the magnitude sum is exactly the edge count, so this is bit-identical
     to the unweighted AND.
+
+    The sum uses ``math.fsum`` so the result is correctly rounded and
+    independent of edge iteration order -- the canonical value the
+    incremental annealer reproduces with exact integer arithmetic.
     """
     ensure_graph(graph)
-    total = sum(abs(data.get("weight", 1.0)) for _, _, data in graph.edges(data=True))
+    total = math.fsum(abs(data.get("weight", 1.0)) for _, _, data in graph.edges(data=True))
     return 2.0 * total / graph.number_of_nodes()
 
 
@@ -141,12 +147,22 @@ def connected_random_subgraph(
     component = components[int(rng.integers(len(components)))]
     start = _choice(rng, sorted(component))
     chosen = {start}
-    frontier = set(graph.neighbors(start)) & component
+    # The frontier minus the chosen set is kept as a sorted list maintained
+    # by insertion, so each absorb costs O(deg log + insert) instead of
+    # re-sorting the whole frontier; the candidate order (and hence the RNG
+    # draw sequence) is identical to sorting from scratch each round.
+    candidate_set = (set(graph.neighbors(start)) & component) - chosen
+    candidates = sorted(candidate_set)
     while len(chosen) < size:
-        candidates = sorted(frontier - chosen)
-        nxt = _choice(rng, candidates)
+        index = int(rng.integers(len(candidates)))
+        nxt = candidates[index]
         chosen.add(nxt)
-        frontier |= set(graph.neighbors(nxt))
+        candidate_set.discard(nxt)
+        del candidates[index]
+        for neighbor in graph.neighbors(nxt):
+            if neighbor not in chosen and neighbor not in candidate_set:
+                candidate_set.add(neighbor)
+                insort(candidates, neighbor)
     return chosen
 
 

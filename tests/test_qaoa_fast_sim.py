@@ -105,6 +105,46 @@ class TestBatchEngine:
         with pytest.raises(ValueError):
             qaoa_expectation_batch(ham, np.zeros((3, 1)), np.zeros((4, 1)))
 
+    def test_custom_observable(self):
+        """Measuring one edge's cut indicator matches summing probabilities."""
+        from repro.qaoa.fast_sim import qaoa_probabilities
+
+        g = _connected_er(6, 0.5, 2)
+        ham = MaxCutHamiltonian(g)
+        z = np.arange(2**ham.num_qubits, dtype=np.uint64)
+        u, v = ham.edges[0]
+        cut = (((z >> np.uint64(u)) ^ (z >> np.uint64(v))) & np.uint64(1)).astype(float)
+        rng = np.random.default_rng(3)
+        gammas = rng.uniform(0, 2 * np.pi, size=(9, 2))
+        betas = rng.uniform(0, np.pi, size=(9, 2))
+        batch = qaoa_expectation_batch(ham, gammas, betas, observable=cut)
+        for i in (0, 4, 8):
+            probs = qaoa_probabilities(ham, list(gammas[i]), list(betas[i]))
+            assert batch[i] == pytest.approx(float(probs @ cut), abs=1e-12)
+
+    def test_observable_shape_rejected(self):
+        ham = MaxCutHamiltonian(nx.path_graph(3))
+        with pytest.raises(ValueError):
+            qaoa_expectation_batch(
+                ham, np.zeros((2, 1)), np.zeros((2, 1)), observable=np.zeros(3)
+            )
+
+    def test_weighted_diagonal_phase_table_fallback(self):
+        """Weighted graphs with many distinct cut values skip the phase
+        table; results must not change."""
+        g = _connected_er(7, 0.5, 4)
+        rng = np.random.default_rng(5)
+        for a, b in g.edges():
+            g[a][b]["weight"] = float(rng.uniform(0.5, 1.5))
+        ham = MaxCutHamiltonian(g)
+        gammas = rng.uniform(0, 2 * np.pi, size=(5, 2))
+        betas = rng.uniform(0, np.pi, size=(5, 2))
+        batch = qaoa_expectation_batch(ham, gammas, betas)
+        scalar = np.array(
+            [qaoa_expectation_fast(ham, gg, bb) for gg, bb in zip(gammas, betas)]
+        )
+        assert np.allclose(batch, scalar, atol=1e-10)
+
 
 class TestFastNoiseSpec:
     def test_trivial(self):
