@@ -17,6 +17,7 @@ Acceptance floors from the issue: >= 5x reducer steps/sec at n=400 and
 """
 
 import json
+import os
 from pathlib import Path
 
 import networkx as nx
@@ -118,8 +119,11 @@ def test_bench_pr3_emit(benchmark):
 
     # Engines must price the same landscape before speed claims count.
     assert cone["max_value_disagreement"] < 1e-12
-    # Issue acceptance floors.
-    assert results["sa_reducer"]["400"]["speedup"] >= 5.0
-    assert cone["speedup"] >= 10.0
     # The fast paths should never lose at any measured size.
     assert all(s["speedup"] > 1.0 for s in results["sa_reducer"].values())
+    # Issue acceptance floors: hard wall-clock ratios only mean something
+    # on the calibrated 1-core box; on shared CI runners (bench-smoke job)
+    # set BENCH_STRICT=0 so a noisy neighbor can't fail an unrelated push.
+    if os.environ.get("BENCH_STRICT", "1") != "0":
+        assert results["sa_reducer"]["400"]["speedup"] >= 5.0
+        assert cone["speedup"] >= 10.0

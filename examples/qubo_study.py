@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Problem-layer study: reduce -> optimize -> transfer beyond MaxCut.
+
+Runs the Red-QAOA pipeline on two non-MaxCut workloads from
+:mod:`repro.problems`:
+
+- an SK spin glass (field-free, all-to-all random couplings), and
+- a Max-Independent-Set penalty encoding (linear fields, so the reducer's
+  field-aware node strength and the dense engine are both exercised),
+
+reporting the reduction achieved on each problem's coupling graph, the
+transferred-parameter expectation, and the best sampled solution against
+the classical optimum.
+
+Usage::
+
+    python examples/qubo_study.py [--nodes 16] [--p 1] [--seed 7]
+"""
+
+import argparse
+
+import networkx as nx
+
+from repro import RedQAOA
+from repro.problems import max_independent_set_problem, sk_problem
+
+
+def run_problem(label: str, problem, args):
+    print(f"\n=== {label} ===")
+    print(
+        f"instance: {problem.num_qubits} qubits, {problem.num_couplings} couplings, "
+        f"{len(problem.fields)} linear fields"
+        + ("" if problem.is_field_free else " (field-aware reduction)")
+    )
+    pipeline = RedQAOA(
+        p=args.p, restarts=args.restarts, maxiter=args.maxiter,
+        finetune_maxiter=0, seed=args.seed,
+    )
+    result = pipeline.run(problem=problem)
+    reduction = result.reduction
+    print(
+        f"reduced coupling graph: {reduction.subproblem.num_qubits} qubits "
+        f"({reduction.node_reduction:.0%} node reduction, "
+        f"AND ratio {reduction.and_ratio:.2f})"
+    )
+    print(
+        f"optimization: {result.num_reduced_evaluations} evaluations, all on the "
+        f"distilled problem (pure parameter transfer)"
+    )
+    print(f"transferred expectation: {result.expectation:.4f}")
+    best = problem.best_value()
+    print(f"best sampled value: {result.cut_value:.4f} (classical best {best:.4f})")
+    if best > 0:
+        print(f"sampled approximation ratio: {result.cut_value / best:.3f}")
+    return result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=16, help="problem size (<= 20)")
+    parser.add_argument("--edge-prob", type=float, default=0.3,
+                        help="G(n, p) density of the MIS instance")
+    parser.add_argument("--p", type=int, default=1, help="QAOA depth")
+    parser.add_argument("--restarts", type=int, default=3)
+    parser.add_argument("--maxiter", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    run_problem("SK spin glass", sk_problem(args.nodes, seed=args.seed), args)
+
+    graph = nx.erdos_renyi_graph(args.nodes, args.edge_prob, seed=args.seed)
+    while not (graph.number_of_edges() and nx.is_connected(graph)):
+        args.seed += 1
+        graph = nx.erdos_renyi_graph(args.nodes, args.edge_prob, seed=args.seed)
+    mis = max_independent_set_problem(graph)
+    result = run_problem("Max-Independent-Set", mis, args)
+    bits = [result.assignment[q] for q in range(mis.num_qubits)]
+    independent = all(not (bits[u] and bits[v]) for u, v in graph.edges())
+    print(f"sampled MIS assignment feasible: {independent} (set size {sum(bits)})")
+
+
+if __name__ == "__main__":
+    main()

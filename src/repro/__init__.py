@@ -22,6 +22,12 @@ Subpackages
 ``repro.qaoa``
     MaxCut QAOA: Hamiltonians, fast simulation engines, energy landscapes,
     classical optimizers.
+``repro.problems``
+    The general Ising/QUBO workload layer: :class:`DiagonalProblem`
+    (couplings + fields + constant, QUBO round-trip converters) and
+    encodings for MaxCut, Max-Independent-Set, vertex cover, number
+    partitioning, SK spin glasses, and arbitrary QUBOs -- all runnable
+    through the same reduce -> optimize -> transfer pipeline.
 ``repro.pooling``
     GNN graph-pooling baselines (Top-K, SAG, ASA).
 ``repro.datasets``
@@ -33,6 +39,16 @@ Subpackages
 """
 
 from repro.core import GraphReducer, RedQAOA, ReductionResult, simulated_annealing
+from repro.problems import (
+    DiagonalProblem,
+    max_independent_set_problem,
+    maxcut_problem,
+    min_vertex_cover_problem,
+    number_partitioning_problem,
+    problem_expectation,
+    qubo_problem,
+    sk_problem,
+)
 from repro.qaoa import (
     approximation_ratio,
     brute_force_maxcut,
@@ -44,6 +60,7 @@ from repro.qaoa import (
 from repro.quantum import FakeBackend, NoiseModel, QuantumCircuit, get_backend
 
 __all__ = [
+    "DiagonalProblem",
     "FakeBackend",
     "GraphReducer",
     "NoiseModel",
@@ -55,10 +72,17 @@ __all__ = [
     "compute_landscape",
     "get_backend",
     "landscape_mse",
+    "max_independent_set_problem",
     "maxcut_expectation",
+    "maxcut_problem",
+    "min_vertex_cover_problem",
     "noisy_maxcut_expectation",
+    "number_partitioning_problem",
+    "problem_expectation",
+    "qubo_problem",
     "simulated_annealing",
+    "sk_problem",
     "__version__",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

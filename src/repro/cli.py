@@ -17,6 +17,12 @@ sweep on a large sparse graph through the cached
 :class:`~repro.qaoa.lightcone.LightconePlan` (structure discovered once,
 every point batched), printing the class/dedup statistics and the
 points-per-second the plan achieves.
+
+``solve`` runs the full reduce -> optimize -> transfer -> sample pipeline
+on any workload of the Ising/QUBO problem layer
+(:mod:`repro.problems`): ``--problem {maxcut,mis,vertex-cover,partition,
+sk,qubo}``, with a ``--qubo-file`` escape hatch for user-supplied
+matrices.
 """
 
 from __future__ import annotations
@@ -109,6 +115,36 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-lightcone qubit cap")
     sweep.add_argument("--seed", type=int, default=0)
     _add_weight_options(sweep)
+
+    solve = sub.add_parser(
+        "solve",
+        help="reduce -> optimize -> transfer -> sample on any Ising/QUBO workload",
+    )
+    solve.add_argument("--problem", default="maxcut",
+                       choices=("maxcut", "mis", "vertex-cover", "partition",
+                                "sk", "qubo"),
+                       help="workload encoding from repro.problems")
+    solve.add_argument("-n", "--nodes", type=int, default=18,
+                       help="problem size (qubits; readout and exact best-value "
+                            "need n <= repro.problems.MAX_DENSE_QUBITS)")
+    solve.add_argument("--p", type=int, default=1, help="QAOA layers")
+    solve.add_argument("--edge-prob", type=float, default=0.35,
+                       help="G(n, p) density for graph-structured problems")
+    solve.add_argument("--penalty", type=float, default=2.0,
+                       help="constraint penalty for mis / vertex-cover (> 1)")
+    solve.add_argument("--qubo-density", type=float, default=0.5,
+                       help="off-diagonal fill of the random QUBO")
+    solve.add_argument("--qubo-file", default=None,
+                       help="load the QUBO matrix from a text file "
+                            "(numpy.loadtxt format) instead of sampling one")
+    solve.add_argument("--restarts", type=int, default=3)
+    solve.add_argument("--maxiter", type=int, default=40)
+    solve.add_argument("--finetune-maxiter", type=int, default=0,
+                       help="iterations on the full problem (0 = pure transfer)")
+    solve.add_argument("--shots", type=int, default=1024,
+                       help="readout samples from the final state")
+    solve.add_argument("--seed", type=int, default=0)
+    _add_weight_options(solve)
     return parser
 
 
@@ -256,11 +292,98 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_solve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.pipeline import RedQAOA
+    from repro.datasets import problem_instance
+    from repro.problems import qubo_problem
+
+    weighted = getattr(args, "weighted", False)
+    if not weighted and args.weight_dist != "uniform":
+        raise SystemExit(
+            f"--weight-dist {args.weight_dist} has no effect without --weighted"
+        )
+    if weighted and args.problem not in ("maxcut", "sk"):
+        raise SystemExit(
+            f"--weighted does not apply to --problem {args.problem}; it selects "
+            "maxcut edge weights or the sk coupling distribution"
+        )
+    if weighted and args.problem == "sk" and args.weight_dist not in ("gaussian", "spin"):
+        raise SystemExit(
+            "--problem sk draws couplings, not edge weights; pass "
+            "--weight-dist gaussian or --weight-dist spin"
+        )
+    if args.qubo_file is not None:
+        if args.problem != "qubo":
+            raise SystemExit("--qubo-file requires --problem qubo")
+        try:
+            problem = qubo_problem(np.atleast_2d(np.loadtxt(args.qubo_file)))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error reading QUBO matrix {args.qubo_file!r}: {exc}")
+    else:
+        try:
+            problem = problem_instance(
+                args.problem,
+                args.nodes,
+                seed=args.seed,
+                edge_probability=args.edge_prob,
+                penalty=args.penalty,
+                weight_distribution=args.weight_dist if weighted else None,
+                qubo_density=args.qubo_density,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error building the {args.problem} instance: {exc}")
+    print(f"problem: {problem.name}, {problem.num_qubits} qubits, "
+          f"{problem.num_couplings} couplings, {len(problem.fields)} fields")
+
+    start = time.perf_counter()
+    # EngineLimitError: no exact engine for this size; plain ValueError:
+    # degenerate instances (e.g. a QUBO with no couplings or fields) or
+    # bad pipeline settings -- all user-input problems, not bugs.
+    try:
+        pipeline = RedQAOA(
+            p=args.p, restarts=args.restarts, maxiter=args.maxiter,
+            finetune_maxiter=args.finetune_maxiter, shots=args.shots, seed=args.seed,
+        )
+        result = pipeline.run(problem=problem)
+    except ValueError as exc:  # EngineLimitError subclasses ValueError
+        raise SystemExit(f"error: {exc}")
+    elapsed = time.perf_counter() - start
+
+    reduction = result.reduction
+    print(f"reduced: {reduction.subproblem.num_qubits} qubits "
+          f"({reduction.node_reduction:.0%} node reduction, "
+          f"AND ratio {reduction.and_ratio:.2f})")
+    print(f"evaluations: {result.num_reduced_evaluations} on the subproblem, "
+          f"{result.num_original_evaluations} on the full problem")
+    print(f"parameters: gamma={np.round(result.gammas, 3)}, "
+          f"beta={np.round(result.betas, 3)}")
+    print(f"expectation on the full problem: {result.expectation:.4f}")
+    if np.isfinite(result.cut_value):
+        print(f"best sampled value ({args.shots} shots): {result.cut_value:.4f}")
+    else:
+        print("readout skipped (problem exceeds the dense sampling cap)")
+    # Seeded so large instances (local-search fallback) stay reproducible.
+    # Below the dense cap the pipeline's readout already cached the
+    # diagonal, so best_value is the exact optimum there.
+    from repro.problems import MAX_DENSE_QUBITS
+
+    best = problem.best_value(seed=args.seed)
+    exact = problem.num_qubits <= MAX_DENSE_QUBITS
+    print(f"classical best value{'' if exact else ' (local-search bound)'}: {best:.4f}")
+    if best > 0 and np.isfinite(result.cut_value):
+        print(f"approximation ratio (sampled / best): {result.cut_value / best:.3f}")
+    print(f"wall time: {elapsed:.2f} s")
+    return 0
+
+
 _COMMANDS = {
     "mse-noisy": _cmd_mse_noisy,
     "mse-ideal": _cmd_mse_ideal,
     "end-to-end": _cmd_end_to_end,
     "sweep": _cmd_sweep,
+    "solve": _cmd_solve,
 }
 
 

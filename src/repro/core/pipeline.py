@@ -17,6 +17,13 @@ Edge weights (the ``weight`` attribute) flow through every step: the SA
 reducer matches weighted node strength, induced subgraphs and relabelings
 preserve edge data, every expectation engine honors weights, and the cut
 readout scores sampled states against the weighted diagonal.
+
+The pipeline is workload-generic: :meth:`RedQAOA.run` accepts either a
+MaxCut graph (the paper's setting) or any
+:class:`~repro.problems.DiagonalProblem` via ``run(problem=...)`` --
+reduction then happens on the coupling graph (field-aware), optimization
+on the restricted subproblem, and transfer/readout against the problem's
+own diagonal.
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 import numpy as np
 
-from repro.core.reduction import GraphReducer, ReductionResult
+from repro.core.reduction import GraphReducer, ProblemReductionResult, ReductionResult
 from repro.qaoa.expectation import maxcut_expectation, noisy_maxcut_expectation
 from repro.qaoa.fast_sim import FastNoiseSpec, noisy_qaoa_probabilities, qaoa_probabilities
 from repro.qaoa.hamiltonian import MaxCutHamiltonian
@@ -43,10 +50,13 @@ class RedQAOAResult:
 
     ``expectation`` is the ideal expectation of the final parameters on the
     original graph; ``cut_value``/``assignment`` come from sampling the
-    final state (solution-finding step).
+    final state (solution-finding step).  For problem runs
+    (:meth:`RedQAOA.run` with ``problem=``), ``reduction`` is a
+    :class:`~repro.core.reduction.ProblemReductionResult` and
+    ``cut_value`` is the best sampled *objective* value of the problem.
     """
 
-    reduction: ReductionResult
+    reduction: ReductionResult | ProblemReductionResult
     gammas: np.ndarray
     betas: np.ndarray
     expectation: float
@@ -112,6 +122,8 @@ class RedQAOA:
             raise ValueError(f"restarts must be >= 1, got {restarts}")
         if finetune_maxiter < 0:
             raise ValueError(f"finetune_maxiter must be >= 0, got {finetune_maxiter}")
+        if shots is not None and shots < 1:
+            raise ValueError(f"shots must be >= 1, got {shots}")
         self.p = p
         self._rng = as_generator(seed)
         self.reducer = reducer if reducer is not None else GraphReducer(seed=self._rng)
@@ -133,11 +145,23 @@ class RedQAOA:
 
     def optimize_reduced(self, reduction: ReductionResult) -> list[OptimizationTrace]:
         """Step 2: COBYLA restarts on the distilled graph."""
-        objective = self._objective(reduction.reduced_graph)
+        return self._optimize_traces(
+            self._objective(reduction.reduced_graph),
+            warm_start_graph=reduction.reduced_graph,
+        )
+
+    def _optimize_traces(self, objective, warm_start_graph=None) -> list[OptimizationTrace]:
+        """COBYLA restarts against ``objective``; one warm start when enabled.
+
+        Shared by the graph and problem paths so restart bookkeeping (and
+        the RNG draw order behind same-seed reproducibility) lives in one
+        place.  ``warm_start_graph`` feeds the degree-indexed lookup; pass
+        ``None`` to force all-random restarts.
+        """
         traces: list[OptimizationTrace] = []
         random_restarts = self.restarts
-        if self.warm_start:
-            initial = self._warm_start_vector(reduction.reduced_graph)
+        if self.warm_start and warm_start_graph is not None:
+            initial = self._warm_start_vector(warm_start_graph)
             traces.append(
                 cobyla_optimize(
                     objective, self.p, initial=initial,
@@ -181,8 +205,17 @@ class RedQAOA:
             seed=self._rng,
         )
 
-    def run(self, graph: nx.Graph) -> RedQAOAResult:
-        """The full pipeline of Fig. 4 on ``graph``."""
+    def run(self, graph: nx.Graph | None = None, *, problem=None) -> RedQAOAResult:
+        """The full pipeline of Fig. 4 on ``graph`` or on any diagonal ``problem``.
+
+        Exactly one of ``graph`` (MaxCut, the paper's workload) and
+        ``problem`` (a :class:`~repro.problems.DiagonalProblem`: MIS,
+        vertex cover, partitioning, SK, QUBO, ...) must be given.
+        """
+        if (graph is None) == (problem is None):
+            raise ValueError("pass exactly one of graph= or problem=")
+        if problem is not None:
+            return self._run_problem(problem)
         ensure_graph(graph)
         reduction = self.reduce(graph)
         traces = self.optimize_reduced(reduction)
@@ -212,6 +245,98 @@ class RedQAOA:
             reduced_traces=traces,
             finetune_trace=finetune_trace,
         )
+
+    def _run_problem(self, problem) -> RedQAOAResult:
+        """Reduce -> optimize -> transfer -> solve on a diagonal problem.
+
+        The same Fig. 4 flow, with the coupling graph standing in for the
+        MaxCut graph: SA distills it (field-aware), COBYLA restarts run
+        against the subproblem's expectation, the best parameters transfer
+        to the full problem, and readout samples the full trial state.
+        """
+        from repro.problems.expectation import problem_evaluator
+
+        if self.noise is not None:
+            raise NotImplementedError(
+                "noisy optimization is only wired up for MaxCut graphs; "
+                "run problems with noise=None"
+            )
+        # Dispatch the full-problem engine first: this fails fast (before
+        # any reduction or optimization budget is spent) when no exact
+        # engine can evaluate the transfer target, and on the lightcone
+        # path it compiles the plan once for every later evaluation.
+        evaluate_full = problem_evaluator(problem, self.p)
+        reduction = self.reducer.reduce_problem(problem)
+        sub = reduction.subproblem
+        evaluate_sub = problem_evaluator(sub, self.p)
+
+        traces = self._optimize_traces(
+            evaluate_sub,
+            warm_start_graph=sub.coupling_graph() if sub.num_couplings else None,
+        )
+        best_trace = max(traces, key=lambda t: t.best_value)
+        gammas, betas = best_trace.best_parameters
+
+        expectation = evaluate_full(gammas, betas)
+        finetune_trace = None
+        if self.finetune_maxiter > 0:
+            finetune_trace = cobyla_optimize(
+                evaluate_full,
+                self.p,
+                initial=np.concatenate([gammas, betas]),
+                maxiter=self.finetune_maxiter,
+                rhobeg=0.1,
+                seed=self._rng,
+            )
+            if finetune_trace.num_evaluations:
+                ft_gammas, ft_betas = finetune_trace.best_parameters
+                ft_expectation = evaluate_full(ft_gammas, ft_betas)
+                if ft_expectation >= expectation:
+                    gammas, betas = ft_gammas, ft_betas
+                    expectation = ft_expectation
+
+        cut_value, assignment = self._solve_problem(problem, gammas, betas)
+        return RedQAOAResult(
+            reduction=reduction,
+            gammas=np.asarray(gammas, dtype=float),
+            betas=np.asarray(betas, dtype=float),
+            expectation=expectation,
+            cut_value=cut_value,
+            assignment=assignment,
+            reduced_traces=traces,
+            finetune_trace=finetune_trace,
+        )
+
+    def _solve_problem(
+        self, problem, gammas: np.ndarray, betas: np.ndarray
+    ) -> tuple[float, dict]:
+        """Sample the problem's trial state; best observed objective value.
+
+        Needs the dense state, so readout is skipped (NaN value, empty
+        assignment) beyond the dense-qubit guard -- the expectation and
+        transferred parameters remain valid there.
+        """
+        from repro.problems import MAX_DENSE_QUBITS
+
+        if problem.num_qubits > MAX_DENSE_QUBITS:
+            return float("nan"), {}
+        probs = qaoa_probabilities(problem, list(gammas), list(betas))
+        return self._sample_readout(
+            problem.diagonal, probs, range(problem.num_qubits)
+        )
+
+    def _sample_readout(self, diagonal, probs, labels) -> tuple[float, dict]:
+        """Draw shots from ``probs`` and return the best value seen plus the
+        ``label -> bit`` assignment of that outcome (label order = bit order)."""
+        shots = self.shots if self.shots is not None else 1024
+        outcomes = self._rng.choice(probs.size, size=shots, p=probs / probs.sum())
+        values = diagonal[outcomes]
+        best_index = int(outcomes[int(np.argmax(values))])
+        assignment = {
+            label: (best_index >> position) & 1
+            for position, label in enumerate(labels)
+        }
+        return float(values.max()), assignment
 
     # -- internals -------------------------------------------------------------
 
@@ -245,15 +370,8 @@ class RedQAOA:
                 hamiltonian, list(gammas), list(betas), self.noise,
                 trajectories=self.trajectories, seed=self._rng,
             )
-        shots = self.shots if self.shots is not None else 1024
-        outcomes = self._rng.choice(probs.size, size=shots, p=probs / probs.sum())
-        values = hamiltonian.diagonal[outcomes]
-        best_index = int(outcomes[int(np.argmax(values))])
         try:
             ordered = sorted(graph.nodes())
         except TypeError:
             ordered = list(graph.nodes())
-        assignment = {
-            node: (best_index >> position) & 1 for position, node in enumerate(ordered)
-        }
-        return float(values.max()), assignment
+        return self._sample_readout(hamiltonian.diagonal, probs, ordered)

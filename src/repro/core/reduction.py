@@ -23,7 +23,7 @@ from repro.core.cooling import CoolingSchedule
 from repro.utils.graphs import average_node_strength, ensure_graph, relabel_to_range
 from repro.utils.rng import as_generator
 
-__all__ = ["GraphReducer", "ReductionResult"]
+__all__ = ["GraphReducer", "ProblemReductionResult", "ReductionResult"]
 
 DEFAULT_AND_RATIO_THRESHOLD = 0.7
 
@@ -56,6 +56,41 @@ class ReductionResult:
         if m == 0:
             return 0.0
         return 1.0 - self.reduced_graph.number_of_edges() / m
+
+
+@dataclass
+class ProblemReductionResult:
+    """Output of :meth:`GraphReducer.reduce_problem`.
+
+    ``nodes`` are original problem qubit indices (sorted); ``subproblem``
+    is the problem restricted to them and relabeled to ``0..k-1``
+    (``node_mapping`` maps original to new indices); ``graph_reduction``
+    is the underlying coupling-graph reduction with its annealing record.
+    """
+
+    problem: object  # a repro.problems.DiagonalProblem (duck-typed)
+    subproblem: object
+    nodes: list
+    node_mapping: dict
+    graph_reduction: ReductionResult
+
+    @property
+    def and_ratio(self) -> float:
+        return self.graph_reduction.and_ratio
+
+    @property
+    def node_reduction(self) -> float:
+        return self.graph_reduction.node_reduction
+
+    @property
+    def edge_reduction(self) -> float:
+        return self.graph_reduction.edge_reduction
+
+    # Aliases so result consumers written for graph reductions (examples,
+    # CLI reporting) can render either flavor.
+    @property
+    def reduced_graph(self) -> nx.Graph:
+        return self.graph_reduction.reduced_graph
 
 
 class GraphReducer:
@@ -171,6 +206,34 @@ class GraphReducer:
             )
             feasible = whole
         return self._build_result(graph, feasible)
+
+    def reduce_problem(
+        self, problem, target_size: int | None = None
+    ) -> ProblemReductionResult:
+        """Distill a :class:`~repro.problems.DiagonalProblem`.
+
+        The annealer runs on the problem's coupling graph with fields
+        included as self-loops (``weight = 2 h_u``), so the node-strength
+        objective sees linear terms: a strongly-biased qubit counts as
+        strongly connected and is preferentially retained.  Both annealing
+        engines handle self-loops with bit-identical results (the strength
+        sum counts each loop's ``|weight|`` once; connectivity ignores
+        loops).  The kept nodes become :meth:`DiagonalProblem.subproblem`.
+
+        For a MaxCut-encoded problem the coupling graph is the original
+        weighted graph (no fields), so this reduces exactly as
+        :meth:`reduce` does on that graph.
+        """
+        graph = problem.coupling_graph(include_fields=True)
+        reduction = self.reduce(graph, target_size=target_size)
+        nodes = sorted(reduction.nodes)
+        return ProblemReductionResult(
+            problem=problem,
+            subproblem=problem.subproblem(nodes),
+            nodes=nodes,
+            node_mapping={node: index for index, node in enumerate(nodes)},
+            graph_reduction=reduction,
+        )
 
     # -- internals ----------------------------------------------------------
 

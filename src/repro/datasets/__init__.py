@@ -5,8 +5,20 @@ reproduction ships synthetic generators matched to the published statistics
 (graph counts, node ranges, and -- critically for every Red-QAOA result --
 the average-node-degree profile: IMDb dense and cliquish, AIDS and LINUX
 sparse and tree-like).  See DESIGN.md for the substitution rationale.
+
+Beyond graphs, :mod:`repro.datasets.problems` generates instances of every
+Ising/QUBO workload in :mod:`repro.problems` (MIS, vertex cover, number
+partitioning, SK spin glasses, random QUBOs) by the same seeded-and-
+deterministic rules.
 """
 
+from repro.datasets.problems import (
+    PROBLEM_KINDS,
+    partition_numbers,
+    problem_instance,
+    problem_suite,
+    random_qubo_matrix,
+)
 from repro.datasets.random_graphs import random_graph_suite, random_connected_gnp
 from repro.datasets.registry import DATASET_NAMES, load_dataset
 from repro.datasets.stats import DatasetStats, dataset_stats
@@ -21,6 +33,7 @@ from repro.datasets.weighted import (
 __all__ = [
     "DATASET_NAMES",
     "DatasetStats",
+    "PROBLEM_KINDS",
     "WEIGHT_DISTRIBUTIONS",
     "aids_like_graph",
     "attach_weights",
@@ -28,8 +41,12 @@ __all__ = [
     "imdb_like_graph",
     "linux_like_graph",
     "load_dataset",
+    "partition_numbers",
+    "problem_instance",
+    "problem_suite",
     "random_connected_gnp",
     "random_graph_suite",
+    "random_qubo_matrix",
     "spin_glass_graph",
     "weighted_graph_suite",
 ]

@@ -1,0 +1,133 @@
+"""Problem-instance generators for the Ising/QUBO workload layer.
+
+The problem-side analogue of the graph datasets: deterministic, seeded
+generators for every encoding in :mod:`repro.problems`, keyed by the same
+workload names the CLI's ``solve --problem`` accepts.  Structured problems
+(MaxCut, MIS, vertex cover) are built on connected G(n, p) samples;
+partitioning draws integer weights; SK and QUBO draw random couplings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.random_graphs import random_connected_gnp
+from repro.datasets.weighted import attach_weights
+from repro.problems import (
+    DiagonalProblem,
+    max_independent_set_problem,
+    maxcut_problem,
+    min_vertex_cover_problem,
+    number_partitioning_problem,
+    qubo_problem,
+    sk_problem,
+)
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "PROBLEM_KINDS",
+    "partition_numbers",
+    "problem_instance",
+    "problem_suite",
+    "random_qubo_matrix",
+]
+
+PROBLEM_KINDS = ("maxcut", "mis", "vertex-cover", "partition", "sk", "qubo")
+
+
+def random_qubo_matrix(
+    num_variables: int,
+    density: float = 0.5,
+    scale: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """A random symmetric QUBO matrix with ``N(0, scale)`` entries.
+
+    Off-diagonal pairs are kept with probability ``density`` (their two
+    symmetric entries share one value); the diagonal (linear terms) is
+    always dense.
+    """
+    if num_variables < 1:
+        raise ValueError(f"num_variables must be >= 1, got {num_variables}")
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    rng = as_generator(seed)
+    matrix = np.zeros((num_variables, num_variables))
+    for u in range(num_variables):
+        matrix[u, u] = rng.normal(0.0, scale)
+        for v in range(u + 1, num_variables):
+            if rng.random() < density:
+                value = rng.normal(0.0, scale) / 2.0
+                matrix[u, v] = value
+                matrix[v, u] = value
+    return matrix
+
+
+def partition_numbers(
+    count: int,
+    low: int = 1,
+    high: int = 50,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """``count`` integers drawn uniformly from ``[low, high]`` (as floats)."""
+    if count < 2:
+        raise ValueError(f"count must be >= 2, got {count}")
+    if not 1 <= low <= high:
+        raise ValueError(f"need 1 <= low <= high, got [{low}, {high}]")
+    rng = as_generator(seed)
+    return rng.integers(low, high + 1, size=count).astype(float)
+
+
+def problem_instance(
+    kind: str,
+    num_qubits: int,
+    seed: int | np.random.Generator | None = None,
+    edge_probability: float = 0.35,
+    penalty: float = 2.0,
+    weight_distribution: str | None = None,
+    qubo_density: float = 0.5,
+) -> DiagonalProblem:
+    """One deterministic instance of workload ``kind`` on ``num_qubits`` qubits.
+
+    ``kind`` is one of :data:`PROBLEM_KINDS`.  ``edge_probability`` shapes
+    the G(n, p) sample behind the graph-structured kinds;
+    ``weight_distribution`` optionally weights the MaxCut instance
+    (``uniform``/``gaussian``/``spin``) or selects the SK coupling draw
+    (``gaussian``/``spin``); ``penalty`` parameterizes the MIS and
+    vertex-cover encodings; ``qubo_density`` the random QUBO's off-diagonal
+    fill.
+    """
+    if kind not in PROBLEM_KINDS:
+        raise ValueError(f"unknown problem kind {kind!r}; available: {PROBLEM_KINDS}")
+    rng = as_generator(seed)
+    if kind == "maxcut":
+        graph = random_connected_gnp(num_qubits, edge_probability, seed=rng)
+        if weight_distribution is not None:
+            graph = attach_weights(graph, weight_distribution, seed=rng)
+        return maxcut_problem(graph)
+    if kind == "mis":
+        graph = random_connected_gnp(num_qubits, edge_probability, seed=rng)
+        return max_independent_set_problem(graph, penalty=penalty)
+    if kind == "vertex-cover":
+        graph = random_connected_gnp(num_qubits, edge_probability, seed=rng)
+        return min_vertex_cover_problem(graph, penalty=penalty)
+    if kind == "partition":
+        return number_partitioning_problem(partition_numbers(num_qubits, seed=rng))
+    if kind == "sk":
+        distribution = "gaussian" if weight_distribution is None else weight_distribution
+        return sk_problem(num_qubits, seed=rng, distribution=distribution)
+    return qubo_problem(random_qubo_matrix(num_qubits, density=qubo_density, seed=rng))
+
+
+def problem_suite(
+    kind: str,
+    count: int = 10,
+    num_qubits: int = 12,
+    seed: int | np.random.Generator | None = None,
+    **kwargs,
+) -> list[DiagonalProblem]:
+    """``count`` independent instances of workload ``kind`` (shared RNG stream)."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = as_generator(seed)
+    return [problem_instance(kind, num_qubits, seed=rng, **kwargs) for _ in range(count)]

@@ -1,0 +1,209 @@
+"""Concrete problem encodings onto :class:`~repro.problems.base.DiagonalProblem`.
+
+Each encoder returns the objective *to maximize*; constrained problems
+(independent set, vertex cover) use standard penalty encodings whose optima
+are guaranteed feasible whenever ``penalty > 1`` (see each docstring for
+the one-line argument).  The encodings:
+
+Graph-based encoders relabel nodes to qubits ``0..n-1`` through
+:func:`~repro.utils.graphs.relabel_to_range` (sorted original labels when
+sortable, iteration order otherwise), so qubit ``q`` of the resulting
+problem -- and of any pipeline ``assignment`` -- is
+``sorted(graph.nodes())[q]``.
+
+==============  ===========================================  =============
+problem         maximized objective                          linear fields
+==============  ===========================================  =============
+maxcut          ``sum_e w_e (1 - s_u s_v) / 2``              no
+mis             ``sum_u x_u - penalty sum_e x_u x_v``        yes
+vertex-cover    ``-sum_u x_u - penalty sum_e (1-x_u)(1-x_v)``  yes
+partition       ``-(sum_i a_i s_i)**2``                      no
+sk              ``sum_{u<v} J_uv s_u s_v``, ``J ~ N(0,1)/sqrt(n)``  no
+qubo            ``x^T Q x + offset``                         generally
+==============  ===========================================  =============
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.problems.base import DiagonalProblem
+from repro.utils.graphs import ensure_graph, relabel_to_range
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "max_independent_set_problem",
+    "maxcut_problem",
+    "min_vertex_cover_problem",
+    "number_partitioning_problem",
+    "qubo_problem",
+    "sk_problem",
+]
+
+
+def _check_penalty(penalty: float) -> float:
+    penalty = float(penalty)
+    if not penalty > 1.0:
+        raise ValueError(
+            f"penalty must exceed 1 (the per-node reward) so constrained "
+            f"optima stay feasible, got {penalty}"
+        )
+    return penalty
+
+
+def maxcut_problem(graph: nx.Graph) -> DiagonalProblem:
+    """Weighted MaxCut as a diagonal problem: ``J_uv = -w_uv / 2``.
+
+    The pre-existing workload, now one encoding among many.  The diagonal
+    equals :func:`~repro.qaoa.hamiltonian.cut_values` of the (relabeled)
+    graph, and :meth:`~DiagonalProblem.coupling_graph` returns that graph
+    with its original weights bit-for-bit (``-2 * (-w/2) = w``), so
+    reduction and lightcone evaluation match the graph-based path exactly.
+
+    One caveat: edges of weight exactly 0 contribute nothing to the cost
+    and are dropped from the encoding, so they also vanish from the
+    coupling graph.  A zero-weight edge that was load-bearing for
+    *connectivity* (e.g. the only bridge between two clusters) therefore
+    changes how the SA reducer sees the instance relative to reducing the
+    raw graph -- which is the honest view: the QAOA landscape genuinely
+    does not depend on such edges.
+    """
+    ensure_graph(graph)
+    relabeled = relabel_to_range(graph)
+    couplings: dict[tuple[int, int], float] = {}
+    total = 0.0
+    for u, v, data in relabeled.edges(data=True):
+        weight = float(data.get("weight", 1.0))
+        if not math.isfinite(weight):
+            raise ValueError(f"edge ({u}, {v}) weight must be finite, got {weight!r}")
+        if u == v or weight == 0.0:
+            continue
+        couplings[(u, v)] = -weight / 2.0
+        total += weight / 2.0
+    return DiagonalProblem(
+        relabeled.number_of_nodes(), couplings, constant=total, name="maxcut"
+    )
+
+
+def max_independent_set_problem(
+    graph: nx.Graph, penalty: float = 2.0
+) -> DiagonalProblem:
+    """Max-Independent-Set: maximize ``sum_u x_u - penalty * sum_e x_u x_v``.
+
+    Any maximizer is an independent set when ``penalty > 1``: a selected
+    node with a selected neighbor contributes at most 1 but costs at least
+    ``penalty`` per violated edge, so dropping it strictly improves the
+    objective.  The optimum value therefore equals the independence number.
+    Linear terms make this a *field-carrying* problem (dense-engine path).
+    """
+    ensure_graph(graph)
+    penalty = _check_penalty(penalty)
+    relabeled = relabel_to_range(graph)
+    n = relabeled.number_of_nodes()
+    matrix = np.zeros((n, n))
+    np.fill_diagonal(matrix, 1.0)
+    for u, v in relabeled.edges():
+        if u != v:
+            matrix[min(u, v), max(u, v)] -= penalty
+    return DiagonalProblem.from_qubo(matrix, name="mis")
+
+
+def min_vertex_cover_problem(
+    graph: nx.Graph, penalty: float = 2.0
+) -> DiagonalProblem:
+    """Min-vertex-cover: maximize ``-sum_u x_u - penalty * sum_e (1-x_u)(1-x_v)``.
+
+    Any maximizer is a vertex cover when ``penalty > 1``: covering an
+    uncovered edge's endpoint costs 1 and recovers at least ``penalty``.
+    The optimum value is ``-|minimum cover|`` (so values are <= 0; compare
+    magnitudes, not ratios).
+    """
+    ensure_graph(graph)
+    penalty = _check_penalty(penalty)
+    relabeled = relabel_to_range(graph)
+    n = relabeled.number_of_nodes()
+    matrix = np.zeros((n, n))
+    np.fill_diagonal(matrix, -1.0)
+    num_edges = 0
+    for u, v in relabeled.edges():
+        if u == v:
+            continue
+        num_edges += 1
+        matrix[u, u] += penalty
+        matrix[v, v] += penalty
+        matrix[min(u, v), max(u, v)] -= penalty
+    return DiagonalProblem.from_qubo(
+        matrix, offset=-penalty * num_edges, name="vertex-cover"
+    )
+
+
+def number_partitioning_problem(numbers: Sequence[float]) -> DiagonalProblem:
+    """Number partitioning: maximize ``-(sum_i a_i s_i)**2``.
+
+    Spin +1/-1 assigns each number to one of two piles; the squared
+    residual expands to ``sum a_i**2 + 2 sum_{i<j} a_i a_j s_i s_j``, so
+    the encoding is a complete coupling graph with ``J_ij = -2 a_i a_j``
+    and constant ``-sum a_i**2``.  A perfect partition scores 0 (the
+    maximum possible); field-free, so large instances could in principle
+    route through the lightcone engine -- though the complete coupling
+    graph keeps them on the dense path in practice.
+    """
+    values = [float(a) for a in numbers]
+    if len(values) < 2:
+        raise ValueError(f"need at least 2 numbers, got {len(values)}")
+    for a in values:
+        if not math.isfinite(a):
+            raise ValueError(f"numbers must be finite, got {a!r}")
+    couplings = {
+        (i, j): -2.0 * values[i] * values[j]
+        for i in range(len(values))
+        for j in range(i + 1, len(values))
+    }
+    constant = -sum(a * a for a in values)
+    return DiagonalProblem(len(values), couplings, constant=constant, name="partition")
+
+
+def sk_problem(
+    num_spins: int,
+    seed: int | np.random.Generator | None = None,
+    distribution: str = "gaussian",
+) -> DiagonalProblem:
+    """A Sherrington-Kirkpatrick spin glass: all-to-all random couplings.
+
+    ``distribution="gaussian"`` draws ``J_uv ~ N(0, 1) / sqrt(n)`` (the
+    standard SK normalization, keeping the ground-state energy ~``0.76 n``);
+    ``"spin"`` draws Rademacher ``+/-1 / sqrt(n)`` couplings.  The stored
+    objective ``sum_{u<v} J_uv s_u s_v`` is maximized, i.e. the negated SK
+    energy; by coupling symmetry the ensemble is unchanged.  Field-free.
+    """
+    if num_spins < 2:
+        raise ValueError(f"num_spins must be >= 2, got {num_spins}")
+    if distribution not in ("gaussian", "spin"):
+        raise ValueError(f"unknown distribution {distribution!r}")
+    rng = as_generator(seed)
+    count = num_spins * (num_spins - 1) // 2
+    if distribution == "gaussian":
+        draws = rng.normal(0.0, 1.0, size=count)
+    else:
+        draws = rng.choice([-1.0, 1.0], size=count)
+    draws = draws / math.sqrt(num_spins)
+    pairs = (
+        (u, v) for u in range(num_spins) for v in range(u + 1, num_spins)
+    )
+    couplings = {pair: float(j) for pair, j in zip(pairs, draws)}
+    return DiagonalProblem(num_spins, couplings, name="sk")
+
+
+def qubo_problem(
+    matrix: np.ndarray,
+    offset: float = 0.0,
+    maximize: bool = True,
+    name: str = "qubo",
+) -> DiagonalProblem:
+    """An arbitrary QUBO ``x^T Q x + offset`` (see
+    :meth:`DiagonalProblem.from_qubo`); ``maximize=False`` negates first."""
+    return DiagonalProblem.from_qubo(matrix, offset=offset, maximize=maximize, name=name)

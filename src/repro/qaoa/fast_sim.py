@@ -13,6 +13,12 @@ edge per cost layer -- matching the RZZ/CX pairs a transpiled circuit would
 execute -- and one single-qubit channel per qubit per mixer layer, plus
 readout error).  :class:`FastNoiseSpec` captures those rates and can be
 derived from a :class:`~repro.quantum.backends.FakeBackend`.
+
+The ideal engines only touch ``hamiltonian.num_qubits`` and
+``hamiltonian.diagonal``, so any diagonal cost function duck-types here --
+in particular :class:`~repro.problems.DiagonalProblem`, whose linear-Z
+fields simply appear as extra distinct diagonal values (the phase-table
+gather absorbs them at no extra cost).
 """
 
 from __future__ import annotations
@@ -151,7 +157,10 @@ def qaoa_expectation_batch(
     diag = hamiltonian.diagonal
     measured = diag if observable is None else np.asarray(observable, dtype=float)
     if measured.shape != diag.shape:
-        raise ValueError(f"observable shape {measured.shape} != {diag.shape}")
+        raise ValueError(
+            f"observable shape {measured.shape} does not match the "
+            f"{n}-qubit Hamiltonian (expected shape {diag.shape})"
+        )
     table = _phase_table(diag)
     # Keep the per-chunk working set near 2**19 amplitudes (cache-resident).
     chunk_size = max(1, min(chunk_size, 2**19 // 2**n))

@@ -1,0 +1,233 @@
+"""Unit tests for the Ising/QUBO problem layer: DiagonalProblem + encodings."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.problems import (
+    DiagonalProblem,
+    local_search_value,
+    max_independent_set_problem,
+    maxcut_problem,
+    min_vertex_cover_problem,
+    number_partitioning_problem,
+    qubo_problem,
+    sk_problem,
+)
+from repro.qaoa.hamiltonian import cut_values
+
+
+def _brute_diagonal(problem):
+    """Slow per-state evaluation of the Ising form -- the oracle."""
+    n = problem.num_qubits
+    values = np.empty(2**n)
+    for z in range(2**n):
+        spins = [1.0 - 2.0 * ((z >> u) & 1) for u in range(n)]
+        total = problem.constant
+        for u, h in problem.fields.items():
+            total += h * spins[u]
+        for (u, v), j in problem.couplings.items():
+            total += j * spins[u] * spins[v]
+        values[z] = total
+    return values
+
+
+class TestDiagonalProblem:
+    def test_diagonal_matches_per_state_evaluation(self):
+        rng = np.random.default_rng(0)
+        problem = DiagonalProblem(
+            6,
+            {(0, 1): 0.5, (1, 3): -1.25, (2, 5): rng.normal(), (0, 4): 2.0},
+            fields={0: 0.75, 3: -0.5, 5: 1.5},
+            constant=-0.25,
+        )
+        assert np.allclose(problem.diagonal, _brute_diagonal(problem), atol=1e-12)
+
+    def test_value_agrees_with_diagonal(self):
+        problem = DiagonalProblem(4, {(0, 2): 1.0, (1, 3): -2.0}, fields={2: 0.5})
+        for z in range(16):
+            bits = [(z >> u) & 1 for u in range(4)]
+            assert problem.value(bits) == pytest.approx(problem.diagonal[z])
+
+    def test_couplings_canonicalized_and_merged(self):
+        problem = DiagonalProblem(3, {(2, 0): 1.0, (0, 2): 0.5, (1, 2): 0.0})
+        assert problem.couplings == {(0, 2): 1.5}
+        assert problem.edges == [(0, 2)]
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="self-pair"):
+            DiagonalProblem(3, {(1, 1): 1.0})
+        with pytest.raises(ValueError, match="out of range"):
+            DiagonalProblem(3, {(0, 5): 1.0})
+        with pytest.raises(ValueError, match="finite"):
+            DiagonalProblem(3, {(0, 1): float("nan")})
+        with pytest.raises(ValueError, match="out of range"):
+            DiagonalProblem(3, fields={7: 1.0})
+        with pytest.raises(ValueError, match="num_qubits"):
+            DiagonalProblem(0)
+
+    def test_dense_guard(self):
+        problem = DiagonalProblem(27, {(0, 1): 1.0})
+        with pytest.raises(ValueError, match="refusing to materialize"):
+            _ = problem.diagonal
+
+    def test_brute_force_returns_argmax_bits(self):
+        problem = DiagonalProblem(5, {(0, 1): -1.0, (2, 3): 2.0}, fields={4: 3.0})
+        value, bits = problem.brute_force()
+        assert value == pytest.approx(problem.diagonal.max())
+        assert problem.value(bits) == pytest.approx(value)
+
+    def test_subproblem_restricts_and_relabels(self):
+        problem = DiagonalProblem(
+            6, {(0, 1): 1.0, (1, 4): -2.0, (2, 3): 0.5}, fields={1: 0.25, 2: -1.0},
+            constant=3.0, name="toy",
+        )
+        sub = problem.subproblem([1, 2, 4])
+        assert sub.num_qubits == 3
+        assert sub.couplings == {(0, 2): -2.0}  # (1, 4) -> (0, 2)
+        assert sub.fields == {0: 0.25, 1: -1.0}
+        assert sub.constant == 3.0
+        assert sub.name == "toy"
+        with pytest.raises(ValueError, match="non-empty"):
+            problem.subproblem([])
+        with pytest.raises(ValueError, match="out of range"):
+            problem.subproblem([0, 9])
+
+    def test_coupling_graph_weights_and_fields(self):
+        problem = DiagonalProblem(4, {(0, 1): -0.5, (1, 2): 1.5}, fields={3: -2.0})
+        graph = problem.coupling_graph()
+        assert graph.number_of_nodes() == 4
+        assert graph[0][1]["weight"] == 1.0  # -2 * (-1/2)
+        assert graph[1][2]["weight"] == -3.0
+        assert not any(u == v for u, v in graph.edges())
+        with_fields = problem.coupling_graph(include_fields=True)
+        assert with_fields[3][3]["weight"] == -4.0  # 2 * h
+
+    def test_best_value_dense_and_local_agree(self):
+        problem = sk_problem(10, seed=5)
+        dense = problem.best_value(method="dense")
+        local, bits = local_search_value(problem, restarts=40, seed=0)
+        assert local <= dense + 1e-12
+        assert problem.value(bits) == pytest.approx(local)
+        # On 10 spins with 40 restarts the 1-flip search finds the optimum.
+        assert local == pytest.approx(dense)
+
+
+class TestQuboRoundTrip:
+    def test_from_qubo_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(size=(6, 6))
+        offset = 1.75
+        problem = qubo_problem(matrix, offset=offset)
+        for z in range(2**6):
+            x = np.array([(z >> u) & 1 for u in range(6)], dtype=float)
+            assert problem.diagonal[z] == pytest.approx(x @ matrix @ x + offset)
+
+    def test_minimization_negates(self):
+        matrix = np.array([[1.0, -2.0], [0.0, 3.0]])
+        maxp = qubo_problem(matrix, maximize=True)
+        minp = qubo_problem(matrix, maximize=False)
+        assert np.allclose(maxp.diagonal, -minp.diagonal)
+
+    def test_round_trip_preserves_diagonal(self):
+        rng = np.random.default_rng(11)
+        problem = DiagonalProblem(
+            5,
+            {(u, v): rng.normal() for u in range(5) for v in range(u + 1, 5)},
+            fields={u: rng.normal() for u in range(5)},
+            constant=rng.normal(),
+        )
+        rebuilt = DiagonalProblem.from_qubo(*problem.to_qubo())
+        assert np.allclose(problem.diagonal, rebuilt.diagonal, atol=1e-10)
+
+    def test_to_qubo_is_symmetric(self):
+        matrix, _ = sk_problem(6, seed=2).to_qubo()
+        assert np.allclose(matrix, matrix.T)
+
+    def test_qubo_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            qubo_problem(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="finite"):
+            qubo_problem(np.full((2, 2), np.inf))
+
+
+class TestEncodings:
+    def test_maxcut_diagonal_is_cut_values(self):
+        graph = nx.erdos_renyi_graph(8, 0.4, seed=1)
+        for u, v in graph.edges():
+            graph[u][v]["weight"] = 0.5 + (u + v) % 3
+        problem = maxcut_problem(graph)
+        assert np.allclose(problem.diagonal, cut_values(problem.coupling_graph()),
+                           atol=1e-12)
+        assert problem.is_field_free
+
+    def test_maxcut_coupling_graph_round_trips_weights_exactly(self):
+        graph = nx.erdos_renyi_graph(9, 0.4, seed=2)
+        rng = np.random.default_rng(0)
+        for u, v in graph.edges():
+            graph[u][v]["weight"] = float(rng.normal())
+        recovered = maxcut_problem(graph).coupling_graph()
+        for u, v, data in graph.edges(data=True):
+            if data["weight"] != 0.0:
+                assert recovered[u][v]["weight"] == data["weight"]  # bit-exact
+
+    def test_mis_optimum_is_maximum_independent_set(self):
+        graph = nx.erdos_renyi_graph(9, 0.35, seed=4)
+        problem = max_independent_set_problem(graph)
+        value, bits = problem.brute_force()
+        assert all(not (bits[u] and bits[v]) for u, v in graph.edges())
+        alpha = max(
+            bin(z).count("1")
+            for z in range(2**9)
+            if all(not ((z >> u) & 1 and (z >> v) & 1) for u, v in graph.edges())
+        )
+        assert value == pytest.approx(alpha)
+
+    def test_vertex_cover_optimum_is_minimum_cover(self):
+        graph = nx.erdos_renyi_graph(9, 0.3, seed=7)
+        problem = min_vertex_cover_problem(graph)
+        value, bits = problem.brute_force()
+        assert all(bits[u] or bits[v] for u, v in graph.edges())
+        cover = min(
+            bin(z).count("1")
+            for z in range(2**9)
+            if all((z >> u) & 1 or (z >> v) & 1 for u, v in graph.edges())
+        )
+        assert value == pytest.approx(-cover)
+
+    def test_penalty_must_exceed_one(self):
+        graph = nx.path_graph(4)
+        with pytest.raises(ValueError, match="penalty"):
+            max_independent_set_problem(graph, penalty=1.0)
+        with pytest.raises(ValueError, match="penalty"):
+            min_vertex_cover_problem(graph, penalty=0.5)
+
+    def test_partition_value_is_negated_squared_residual(self):
+        numbers = [3.0, 1.0, 4.0, 1.0, 5.0]
+        problem = number_partitioning_problem(numbers)
+        for z in range(2**5):
+            spins = [1.0 - 2.0 * ((z >> u) & 1) for u in range(5)]
+            residual = sum(a * s for a, s in zip(numbers, spins))
+            assert problem.diagonal[z] == pytest.approx(-(residual**2))
+        # 3 + 4 = 1 + 1 + 5: a perfect partition exists.
+        assert problem.best_value() == pytest.approx(0.0)
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            number_partitioning_problem([1.0])
+        with pytest.raises(ValueError, match="finite"):
+            number_partitioning_problem([1.0, float("inf")])
+
+    def test_sk_is_field_free_complete_and_seeded(self):
+        problem = sk_problem(8, seed=9)
+        assert problem.is_field_free
+        assert problem.num_couplings == 28
+        again = sk_problem(8, seed=9)
+        assert problem.couplings == again.couplings
+        spins = sk_problem(8, seed=9, distribution="spin")
+        scale = 1.0 / np.sqrt(8)
+        assert all(abs(j) == pytest.approx(scale) for j in spins.couplings.values())
+        with pytest.raises(ValueError, match="distribution"):
+            sk_problem(8, distribution="bogus")
+        with pytest.raises(ValueError, match="num_spins"):
+            sk_problem(1)
