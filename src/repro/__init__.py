@@ -36,6 +36,10 @@ Subpackages
     The parameter-transfer baseline from the prior-work comparison.
 ``repro.analysis``
     Metrics, runtime, and throughput models used by the evaluation.
+``repro.service``
+    Batch serving: :class:`JobSpec` fingerprints, the persistent
+    :class:`ResultStore`, the deduplicating :class:`BatchScheduler`, and
+    manifest-driven :class:`Campaign` runs (``red-qaoa batch``).
 """
 
 from repro.core import GraphReducer, RedQAOA, ReductionResult, simulated_annealing
@@ -58,9 +62,14 @@ from repro.qaoa import (
     noisy_maxcut_expectation,
 )
 from repro.quantum import FakeBackend, NoiseModel, QuantumCircuit, get_backend
+from repro.service import BatchScheduler, Campaign, JobSpec, ResultStore
 
 __all__ = [
+    "BatchScheduler",
+    "Campaign",
     "DiagonalProblem",
+    "JobSpec",
+    "ResultStore",
     "FakeBackend",
     "GraphReducer",
     "NoiseModel",
@@ -85,4 +94,4 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

@@ -23,6 +23,7 @@ from repro.utils.rng import as_generator
 __all__ = [
     "RuntimeModel",
     "benchmark_graph",
+    "estimate_pipeline_cost",
     "fit_nlogn",
     "measure_annealer_rate",
     "measure_lightcone_rate",
@@ -151,6 +152,44 @@ def measure_lightcone_rate(
         "points_per_sec": num_points / elapsed if elapsed > 0 else math.inf,
         "values": values,
     }
+
+
+def estimate_pipeline_cost(
+    num_qubits: int,
+    p: int = 1,
+    restarts: int = 3,
+    maxiter: int = 40,
+    finetune_maxiter: int = 0,
+    keep_fraction: float = 0.7,
+    exact_limit: int = 20,
+) -> float:
+    """Modeled relative cost of one reduce -> optimize -> transfer job.
+
+    The batch scheduler's ordering key (cheap jobs stream results first):
+    a statevector point costs ``~ p * n * 2**n`` work up to ``exact_limit``
+    qubits, beyond which lightcone classes bound the per-point cost at
+    ``~ p * n * 2**exact_limit``; the optimizer spends
+    ``restarts * maxiter`` points on the distilled instance (modeled at
+    ``keep_fraction * n`` qubits, the reducer's typical output) and
+    ``finetune_maxiter + 2`` on the full one (transfer evaluation plus
+    readout), and the SA reduction adds an ``n log n`` term scaled to be
+    negligible next to any simulation.  Units are arbitrary but
+    monotone in wall-clock on one engine; calibrate against
+    :func:`measure_lightcone_rate` / :func:`measure_annealer_rate` when
+    real seconds are needed.
+    """
+    if num_qubits < 1 or p < 1:
+        raise ValueError("num_qubits and p must be >= 1")
+
+    def point_cost(n: int) -> float:
+        return p * n * 2.0 ** min(n, exact_limit)
+
+    reduced = max(3, math.ceil(keep_fraction * num_qubits))
+    reduced = min(reduced, num_qubits)
+    optimize = restarts * maxiter * point_cost(reduced)
+    transfer = (finetune_maxiter + 2) * point_cost(num_qubits)
+    anneal = num_qubits * math.log(max(num_qubits, 2))
+    return optimize + transfer + anneal
 
 
 @dataclass(frozen=True)

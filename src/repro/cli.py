@@ -23,6 +23,16 @@ on any workload of the Ising/QUBO problem layer
 (:mod:`repro.problems`): ``--problem {maxcut,mis,vertex-cover,partition,
 sk,qubo}``, with a ``--qubo-file`` escape hatch for user-supplied
 matrices.
+
+``batch`` runs a whole YAML/JSON job manifest (or a generated dataset
+suite) through the :mod:`repro.service` scheduler: duplicates and
+isomorphic instances are deduplicated, reductions and compiled lightcone
+plans are shared, and a ``--store`` file makes the campaign resumable
+across process restarts with zero recomputation.
+
+``solve``/``sweep``/``batch`` accept ``--json`` for machine-readable
+output, and ``red-qaoa --version`` reports the package version -- the
+hooks batch tooling builds on.
 """
 
 from __future__ import annotations
@@ -58,9 +68,14 @@ def _maybe_weight(graph, args: argparse.Namespace, seed: int):
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="red-qaoa",
         description="Red-QAOA reproduction experiments (ASPLOS 2024)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -114,6 +129,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-qubits", type=int, default=20,
                        help="per-lightcone qubit cap")
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--json", action="store_true",
+                       help="emit one JSON object instead of text")
     _add_weight_options(sweep)
 
     solve = sub.add_parser(
@@ -144,7 +161,51 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--shots", type=int, default=1024,
                        help="readout samples from the final state")
     solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--json", action="store_true",
+                       help="emit one JSON object instead of text")
     _add_weight_options(solve)
+
+    from repro.datasets.problems import PROBLEM_KINDS
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a YAML/JSON job manifest through the batch scheduler",
+    )
+    batch.add_argument("manifest", nargs="?", default=None,
+                       help="manifest file (YAML or JSON); omit with --suite")
+    batch.add_argument("--suite", default=None, choices=PROBLEM_KINDS,
+                       help="generate the manifest: a dataset suite of this workload")
+    batch.add_argument("--count", type=int, default=8,
+                       help="suite size (with --suite)")
+    batch.add_argument("-n", "--nodes", type=int, default=12,
+                       help="suite instance size (with --suite)")
+    batch.add_argument("--edge-prob", type=float, default=0.35,
+                       help="G(n, p) density for graph-structured suites")
+    batch.add_argument("--weight-dist", default=None,
+                       choices=("uniform", "gaussian", "spin"),
+                       help="edge-weight / coupling distribution for maxcut or sk suites")
+    batch.add_argument("--penalty", type=float, default=2.0,
+                       help="constraint penalty for mis / vertex-cover suites")
+    batch.add_argument("--qubo-density", type=float, default=0.5,
+                       help="off-diagonal fill for qubo suites")
+    batch.add_argument("--p", type=int, default=1, help="QAOA layers (suite default)")
+    batch.add_argument("--restarts", type=int, default=3)
+    batch.add_argument("--maxiter", type=int, default=40)
+    batch.add_argument("--finetune-maxiter", type=int, default=0)
+    batch.add_argument("--shots", type=int, default=1024)
+    batch.add_argument("--seed", type=int, default=0,
+                       help="first suite seed (job i uses seed + i)")
+    batch.add_argument("--store", default=None,
+                       help="persistent JSONL result store; re-running against it "
+                            "recomputes nothing")
+    batch.add_argument("--report", default=None,
+                       help="write the full JSON report to this file")
+    batch.add_argument("--reuse", default="exact",
+                       choices=("exact", "cross-instance"),
+                       help="reduction sharing: exact (bit-identical) or "
+                            "cross-instance (AND-bucket bank, approximate)")
+    batch.add_argument("--json", action="store_true",
+                       help="emit the full JSON report instead of text")
     return parser
 
 
@@ -259,6 +320,7 @@ def _cmd_end_to_end(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
     import time
 
     import networkx as nx
@@ -280,6 +342,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     eval_seconds = time.perf_counter() - start
 
     stats = plan.stats
+    if args.json:
+        print(json.dumps({
+            "graph": {
+                "nodes": args.nodes,
+                "edges": graph.number_of_edges(),
+                "degree": args.degree,
+                "weighted": bool(args.weighted),
+                "weight_dist": args.weight_dist if args.weighted else None,
+            },
+            "p": args.p,
+            "num_points": args.num_points,
+            "plan": dict(stats),
+            "build_seconds": build_seconds,
+            "evaluate_seconds": eval_seconds,
+            "points_per_sec": args.num_points / max(eval_seconds, 1e-9),
+            "energy": {
+                "min": float(values.min()),
+                "mean": float(values.mean()),
+                "max": float(values.max()),
+            },
+        }, indent=2))
+        return 0
     print(f"graph: {args.nodes} nodes, {graph.number_of_edges()} edges{flavor}, "
           f"{args.degree}-regular; p={args.p}, {args.num_points} parameter sets")
     print(f"plan: {stats['evaluations']} lightcone classes for {stats['edges']} edges "
@@ -334,8 +418,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             )
         except ValueError as exc:
             raise SystemExit(f"error building the {args.problem} instance: {exc}")
-    print(f"problem: {problem.name}, {problem.num_qubits} qubits, "
-          f"{problem.num_couplings} couplings, {len(problem.fields)} fields")
+    def say(line: str) -> None:
+        if not args.json:
+            print(line)
+
+    say(f"problem: {problem.name}, {problem.num_qubits} qubits, "
+        f"{problem.num_couplings} couplings, {len(problem.fields)} fields")
 
     start = time.perf_counter()
     # EngineLimitError: no exact engine for this size; plain ValueError:
@@ -352,18 +440,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - start
 
     reduction = result.reduction
-    print(f"reduced: {reduction.subproblem.num_qubits} qubits "
-          f"({reduction.node_reduction:.0%} node reduction, "
-          f"AND ratio {reduction.and_ratio:.2f})")
-    print(f"evaluations: {result.num_reduced_evaluations} on the subproblem, "
-          f"{result.num_original_evaluations} on the full problem")
-    print(f"parameters: gamma={np.round(result.gammas, 3)}, "
-          f"beta={np.round(result.betas, 3)}")
-    print(f"expectation on the full problem: {result.expectation:.4f}")
+    say(f"reduced: {reduction.subproblem.num_qubits} qubits "
+        f"({reduction.node_reduction:.0%} node reduction, "
+        f"AND ratio {reduction.and_ratio:.2f})")
+    say(f"evaluations: {result.num_reduced_evaluations} on the subproblem, "
+        f"{result.num_original_evaluations} on the full problem")
+    say(f"parameters: gamma={np.round(result.gammas, 3)}, "
+        f"beta={np.round(result.betas, 3)}")
+    say(f"expectation on the full problem: {result.expectation:.4f}")
     if np.isfinite(result.cut_value):
-        print(f"best sampled value ({args.shots} shots): {result.cut_value:.4f}")
+        say(f"best sampled value ({args.shots} shots): {result.cut_value:.4f}")
     else:
-        print("readout skipped (problem exceeds the dense sampling cap)")
+        say("readout skipped (problem exceeds the dense sampling cap)")
     # Seeded so large instances (local-search fallback) stay reproducible.
     # Below the dense cap the pipeline's readout already cached the
     # diagonal, so best_value is the exact optimum there.
@@ -371,10 +459,123 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     best = problem.best_value(seed=args.seed)
     exact = problem.num_qubits <= MAX_DENSE_QUBITS
-    print(f"classical best value{'' if exact else ' (local-search bound)'}: {best:.4f}")
+    say(f"classical best value{'' if exact else ' (local-search bound)'}: {best:.4f}")
+    ratio = None
     if best > 0 and np.isfinite(result.cut_value):
-        print(f"approximation ratio (sampled / best): {result.cut_value / best:.3f}")
-    print(f"wall time: {elapsed:.2f} s")
+        ratio = result.cut_value / best
+        say(f"approximation ratio (sampled / best): {ratio:.3f}")
+    say(f"wall time: {elapsed:.2f} s")
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "problem": {
+                "name": problem.name,
+                "num_qubits": problem.num_qubits,
+                "num_couplings": problem.num_couplings,
+                "num_fields": len(problem.fields),
+            },
+            "reduction": {
+                "qubits": reduction.subproblem.num_qubits,
+                "node_reduction": reduction.node_reduction,
+                "and_ratio": reduction.and_ratio,
+            },
+            "evaluations": {
+                "reduced": result.num_reduced_evaluations,
+                "original": result.num_original_evaluations,
+            },
+            "gammas": [float(g) for g in result.gammas],
+            "betas": [float(b) for b in result.betas],
+            "expectation": result.expectation,
+            "sampled_best": (
+                float(result.cut_value) if np.isfinite(result.cut_value) else None
+            ),
+            "shots": args.shots,
+            "classical_best": best,
+            "classical_exact": exact,
+            "approximation_ratio": ratio,
+            "seconds": elapsed,
+        }, indent=2))
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.datasets import suite_manifest
+    from repro.service import Campaign, load_manifest
+
+    if (args.manifest is None) == (args.suite is None):
+        raise SystemExit("pass exactly one of a manifest file or --suite KIND")
+    if args.manifest is not None:
+        try:
+            manifest = load_manifest(args.manifest)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error reading manifest {args.manifest!r}: {exc}")
+    else:
+        generator = {}
+        if args.suite in ("maxcut", "mis", "vertex-cover"):
+            generator["edge_probability"] = args.edge_prob
+        if args.weight_dist is not None:
+            generator["weight_dist"] = args.weight_dist
+        if args.suite in ("mis", "vertex-cover"):
+            generator["penalty"] = args.penalty
+        if args.suite == "qubo":
+            generator["qubo_density"] = args.qubo_density
+        manifest = suite_manifest(
+            args.suite,
+            count=args.count,
+            num_qubits=args.nodes,
+            seed=args.seed,
+            generator=generator,
+            p=args.p,
+            restarts=args.restarts,
+            maxiter=args.maxiter,
+            finetune_maxiter=args.finetune_maxiter,
+            shots=args.shots,
+        )
+
+    def progress(spec, result):
+        if not args.json:
+            best = (
+                f"{result.best_value:.4f}"
+                if result.best_value == result.best_value
+                else "n/a"
+            )
+            print(f"  done {spec.label}: expectation={result.expectation:.4f}, "
+                  f"best={best}")
+
+    try:
+        campaign = Campaign.from_manifest(
+            manifest, store_path=args.store, reduction_reuse=args.reuse
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error building the campaign: {exc}")
+    report = campaign.run(on_result=progress)
+    if args.report is not None:
+        report.write(args.report)
+    payload = report.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    batch = report.batch
+    store_note = f" (store: {args.store})" if args.store else ""
+    print(f"manifest: {batch.num_jobs} jobs, {batch.num_unique} unique, "
+          f"{batch.num_instances} instances")
+    print(f"executed: {batch.computed} computed, {batch.store_hits} store hits, "
+          f"{batch.deduped} deduped{store_note}")
+    print(f"reuse: {batch.reduction_reuses} shared reductions, "
+          f"{batch.reduction_cross_hits} cross-instance, "
+          f"{batch.plan_hits} plan hits")
+    for label in sorted(payload["aggregates"]):
+        agg = payload["aggregates"][label]
+        best = agg["mean_best_value"]
+        best_text = f"{best:.4f}" if best is not None else "n/a"
+        print(f"  {label:<28} count={agg['count']}  "
+              f"expectation={agg['mean_expectation']:.4f}  best={best_text}")
+    print(f"wall time: {batch.seconds:.2f} s")
+    if args.report is not None:
+        print(f"report written to {args.report}")
     return 0
 
 
@@ -384,6 +585,7 @@ _COMMANDS = {
     "end-to-end": _cmd_end_to_end,
     "sweep": _cmd_sweep,
     "solve": _cmd_solve,
+    "batch": _cmd_batch,
 }
 
 

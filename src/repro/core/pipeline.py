@@ -34,7 +34,7 @@ import networkx as nx
 import numpy as np
 
 from repro.core.reduction import GraphReducer, ProblemReductionResult, ReductionResult
-from repro.qaoa.expectation import maxcut_expectation, noisy_maxcut_expectation
+from repro.qaoa.expectation import maxcut_evaluator, noisy_maxcut_expectation
 from repro.qaoa.fast_sim import FastNoiseSpec, noisy_qaoa_probabilities, qaoa_probabilities
 from repro.qaoa.hamiltonian import MaxCutHamiltonian
 from repro.qaoa.optimizer import OptimizationTrace, cobyla_optimize, multi_restart_optimize
@@ -101,6 +101,12 @@ class RedQAOA:
         from the degree-indexed :class:`~repro.transfer.ParameterLookup`
         library instead of a random point (Sec. 7.2's complementary
         technique); remaining restarts stay random for exploration.
+    plan_cache:
+        Optional shared :class:`~repro.qaoa.lightcone.PlanCache`: compiled
+        lightcone plans for the graphs/problems this pipeline evaluates are
+        banked there and reused across runs (and across pipelines, when the
+        batch scheduler hands several jobs one cache).  Reuse is
+        result-neutral -- a plan is a pure function of the weighted graph.
     """
 
     def __init__(
@@ -115,6 +121,7 @@ class RedQAOA:
         shots: int | None = None,
         warm_start: bool = False,
         seed: int | np.random.Generator | None = None,
+        plan_cache=None,
     ) -> None:
         if p < 1:
             raise ValueError(f"p must be >= 1, got {p}")
@@ -134,6 +141,7 @@ class RedQAOA:
         self.trajectories = trajectories
         self.shots = shots
         self.warm_start = warm_start
+        self.plan_cache = plan_cache
         self._lookup = None
 
     # -- steps ---------------------------------------------------------------
@@ -205,31 +213,47 @@ class RedQAOA:
             seed=self._rng,
         )
 
-    def run(self, graph: nx.Graph | None = None, *, problem=None) -> RedQAOAResult:
+    def run(
+        self,
+        graph: nx.Graph | None = None,
+        *,
+        problem=None,
+        reduction: ReductionResult | ProblemReductionResult | None = None,
+    ) -> RedQAOAResult:
         """The full pipeline of Fig. 4 on ``graph`` or on any diagonal ``problem``.
 
         Exactly one of ``graph`` (MaxCut, the paper's workload) and
         ``problem`` (a :class:`~repro.problems.DiagonalProblem`: MIS,
         vertex cover, partitioning, SK, QUBO, ...) must be given.
+
+        ``reduction`` optionally supplies a precomputed (possibly shared)
+        reduction of the *same* instance, skipping step 1.  Passing the
+        result a same-seeded reducer would have produced leaves the run
+        bit-identical, because reduction and optimization draw from
+        separate RNG streams when the reducer is constructed with its own
+        seed; this is how the batch scheduler shares one reduction across
+        jobs that differ only in optimizer configuration.
         """
         if (graph is None) == (problem is None):
             raise ValueError("pass exactly one of graph= or problem=")
         if problem is not None:
-            return self._run_problem(problem)
+            return self._run_problem(problem, reduction=reduction)
         ensure_graph(graph)
-        reduction = self.reduce(graph)
+        if reduction is None:
+            reduction = self.reduce(graph)
         traces = self.optimize_reduced(reduction)
         best_trace = max(traces, key=lambda t: t.best_value)
         gammas, betas = best_trace.best_parameters
 
         relabeled = relabel_to_range(graph)
-        expectation = maxcut_expectation(relabeled, gammas, betas)
+        evaluate_ideal = maxcut_evaluator(relabeled, self.p, plan_cache=self.plan_cache)
+        expectation = evaluate_ideal(gammas, betas)
         finetune_trace = self.finetune(relabeled, gammas, betas)
         if finetune_trace is not None and finetune_trace.num_evaluations:
             # Keep the transferred parameters if fine-tuning failed to help
             # under its (possibly noisy) objective.
             ft_gammas, ft_betas = finetune_trace.best_parameters
-            ft_expectation = maxcut_expectation(relabeled, ft_gammas, ft_betas)
+            ft_expectation = evaluate_ideal(ft_gammas, ft_betas)
             if ft_expectation >= expectation:
                 gammas, betas = ft_gammas, ft_betas
                 expectation = ft_expectation
@@ -246,7 +270,7 @@ class RedQAOA:
             finetune_trace=finetune_trace,
         )
 
-    def _run_problem(self, problem) -> RedQAOAResult:
+    def _run_problem(self, problem, reduction=None) -> RedQAOAResult:
         """Reduce -> optimize -> transfer -> solve on a diagonal problem.
 
         The same Fig. 4 flow, with the coupling graph standing in for the
@@ -265,10 +289,11 @@ class RedQAOA:
         # any reduction or optimization budget is spent) when no exact
         # engine can evaluate the transfer target, and on the lightcone
         # path it compiles the plan once for every later evaluation.
-        evaluate_full = problem_evaluator(problem, self.p)
-        reduction = self.reducer.reduce_problem(problem)
+        evaluate_full = problem_evaluator(problem, self.p, plan_cache=self.plan_cache)
+        if reduction is None:
+            reduction = self.reducer.reduce_problem(problem)
         sub = reduction.subproblem
-        evaluate_sub = problem_evaluator(sub, self.p)
+        evaluate_sub = problem_evaluator(sub, self.p, plan_cache=self.plan_cache)
 
         traces = self._optimize_traces(
             evaluate_sub,
@@ -341,9 +366,15 @@ class RedQAOA:
     # -- internals -------------------------------------------------------------
 
     def _objective(self, graph: nx.Graph):
-        """Energy function (to maximize) on ``graph`` under configured noise."""
+        """Energy function (to maximize) on ``graph`` under configured noise.
+
+        Ideal objectives dispatch the engine (and compile any lightcone
+        plan) once via :func:`~repro.qaoa.expectation.maxcut_evaluator`
+        instead of per evaluation -- bit-identical values, one engine
+        setup per optimization loop.
+        """
         if self.noise is None:
-            return lambda gammas, betas: maxcut_expectation(graph, gammas, betas)
+            return maxcut_evaluator(graph, self.p, plan_cache=self.plan_cache)
         return lambda gammas, betas: noisy_maxcut_expectation(
             graph,
             gammas,

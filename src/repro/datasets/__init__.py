@@ -17,6 +17,7 @@ from repro.datasets.problems import (
     partition_numbers,
     problem_instance,
     problem_suite,
+    suite_manifest,
     random_qubo_matrix,
 )
 from repro.datasets.random_graphs import random_graph_suite, random_connected_gnp
@@ -44,6 +45,7 @@ __all__ = [
     "partition_numbers",
     "problem_instance",
     "problem_suite",
+    "suite_manifest",
     "random_connected_gnp",
     "random_graph_suite",
     "random_qubo_matrix",

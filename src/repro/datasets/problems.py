@@ -30,6 +30,7 @@ __all__ = [
     "problem_instance",
     "problem_suite",
     "random_qubo_matrix",
+    "suite_manifest",
 ]
 
 PROBLEM_KINDS = ("maxcut", "mis", "vertex-cover", "partition", "sk", "qubo")
@@ -131,3 +132,38 @@ def problem_suite(
         raise ValueError(f"count must be >= 1, got {count}")
     rng = as_generator(seed)
     return [problem_instance(kind, num_qubits, seed=rng, **kwargs) for _ in range(count)]
+
+
+def suite_manifest(
+    kind: str,
+    count: int = 10,
+    num_qubits: int = 12,
+    seed: int = 0,
+    generator: dict | None = None,
+    **job_config,
+) -> dict:
+    """A batch-serving manifest for a generated dataset suite.
+
+    The suite -> manifest bridge: ``count`` jobs of workload ``kind`` on
+    ``num_qubits`` qubits with consecutive seeds (``seed + i`` pins both
+    the instance draw and the job execution), ready for
+    :func:`repro.service.manifest_specs` / ``red-qaoa batch``.
+    ``generator`` holds instance-shaping keys (``edge_probability``,
+    ``weight_dist``, ``penalty``, ``qubo_density``); remaining keyword
+    arguments become the manifest's job-config ``defaults`` (``p``,
+    ``restarts``, ``maxiter``, ...).  ``kind="maxcut"`` describes graph
+    jobs; every other :data:`PROBLEM_KINDS` entry a problem job.
+    """
+    if kind != "maxcut" and kind not in PROBLEM_KINDS:
+        raise ValueError(f"unknown workload kind {kind!r}; available: {PROBLEM_KINDS}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    generator = dict(generator or {})
+    jobs = [
+        {"kind": kind, "nodes": int(num_qubits), "seed": int(seed) + index, **generator}
+        for index in range(count)
+    ]
+    manifest = {"schema": 1, "jobs": jobs}
+    if job_config:
+        manifest["defaults"] = dict(job_config)
+    return manifest

@@ -33,7 +33,7 @@ import numpy as np
 from repro.problems.base import MAX_DENSE_QUBITS, DiagonalProblem
 from repro.qaoa.expectation import EngineLimitError
 from repro.qaoa.fast_sim import qaoa_expectation_fast
-from repro.qaoa.lightcone import LightconePlan, LightconeTooLargeError
+from repro.qaoa.lightcone import LightconePlan, LightconeTooLargeError, PlanCache
 
 __all__ = [
     "problem_evaluator",
@@ -74,7 +74,10 @@ def problem_expectation_reference(
 
 
 def problem_lightcone_plan(
-    problem: DiagonalProblem, p: int, max_qubits: int = 20
+    problem: DiagonalProblem,
+    p: int,
+    max_qubits: int = 20,
+    plan_cache: "PlanCache | None" = None,
 ) -> tuple[LightconePlan, float]:
     """Compiled lightcone plan plus the additive offset for a field-free problem.
 
@@ -82,14 +85,18 @@ def problem_lightcone_plan(
     Raises ``ValueError`` for field-carrying problems (their mixer-coupled
     linear terms break the per-edge decomposition) and
     :class:`~repro.qaoa.lightcone.LightconeTooLargeError` for dense
-    coupling graphs.
+    coupling graphs.  ``plan_cache`` optionally shares compiled plans
+    across problems with identical coupling structure (batch serving);
+    reuse is result-neutral since a plan is a pure function of the graph.
     """
     if not problem.is_field_free:
         raise ValueError(
             f"problem {problem.name!r} has {len(problem.fields)} linear fields; "
             "the lightcone engine only supports field-free problems"
         )
-    plan = LightconePlan.build(problem.coupling_graph(), p, max_qubits=max_qubits)
+    plan = LightconePlan.build_cached(
+        problem.coupling_graph(), p, max_qubits=max_qubits, cache=plan_cache
+    )
     offset = problem.constant + sum(problem.couplings.values())
     return plan, offset
 
@@ -100,6 +107,7 @@ def problem_evaluator(
     method: str = "auto",
     exact_limit: int = _EXACT_LIMIT,
     max_qubits: int = 20,
+    plan_cache: "PlanCache | None" = None,
 ):
     """One-time engine dispatch: a reusable ``f(gammas, betas) -> float``.
 
@@ -126,7 +134,9 @@ def problem_evaluator(
         return dense
     if method == "lightcone" or (method == "auto" and problem.is_field_free):
         try:
-            plan, offset = problem_lightcone_plan(problem, p, max_qubits=max_qubits)
+            plan, offset = problem_lightcone_plan(
+                problem, p, max_qubits=max_qubits, plan_cache=plan_cache
+            )
             return lambda gammas, betas: plan.evaluate(
                 [float(g) for g in np.atleast_1d(gammas)],
                 [float(b) for b in np.atleast_1d(betas)],

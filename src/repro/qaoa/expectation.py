@@ -36,10 +36,20 @@ from repro.qaoa.fast_sim import (
     qaoa_expectation_fast,
 )
 from repro.qaoa.hamiltonian import MaxCutHamiltonian
-from repro.qaoa.lightcone import LightconeTooLargeError, lightcone_expectation
+from repro.qaoa.lightcone import (
+    LightconePlan,
+    LightconeTooLargeError,
+    PlanCache,
+    lightcone_expectation,
+)
 from repro.utils.graphs import ensure_graph, relabel_to_range
 
-__all__ = ["EngineLimitError", "maxcut_expectation", "noisy_maxcut_expectation"]
+__all__ = [
+    "EngineLimitError",
+    "maxcut_evaluator",
+    "maxcut_expectation",
+    "noisy_maxcut_expectation",
+]
 
 _EXACT_LIMIT = 20
 
@@ -83,6 +93,80 @@ def maxcut_expectation(
             raise EngineLimitError(
                 f"graph with {n} nodes at p={p} is beyond exact simulation: {exc}"
             ) from exc
+    raise ValueError(f"unknown method {method!r}")
+
+
+def maxcut_evaluator(
+    graph: nx.Graph,
+    p: int,
+    method: str = "auto",
+    exact_limit: int = _EXACT_LIMIT,
+    plan_cache: PlanCache | None = None,
+):
+    """One-time engine dispatch: a reusable ``f(gammas, betas) -> float``.
+
+    The graph-side twin of :func:`repro.problems.expectation.problem_evaluator`:
+    the engine choice -- and on the lightcone path the whole
+    structure-discovery/compile cost -- is paid once, so optimizer loops
+    price thousands of points without re-dispatching or rebuilding a plan
+    per call.  Every path produces bit-identical values to
+    :func:`maxcut_expectation` with the same ``method``.  ``plan_cache``
+    optionally shares compiled :class:`~repro.qaoa.lightcone.LightconePlan`
+    objects across evaluators (batch serving); pass canonically relabeled
+    graphs when sharing, as plan keys embed node labels.
+
+    Fails fast: :class:`EngineLimitError` is raised here, not at the first
+    evaluation, when no exact engine can handle the graph at depth ``p``.
+    The returned evaluator only accepts depth-``p`` parameter vectors.
+    """
+    ensure_graph(graph)
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    n = graph.number_of_nodes()
+
+    def coerce(gammas, betas) -> tuple[list[float], list[float]]:
+        gammas = [float(g) for g in np.atleast_1d(gammas)]
+        betas = [float(b) for b in np.atleast_1d(betas)]
+        if len(gammas) != len(betas) or len(gammas) != p:
+            raise ValueError(
+                f"evaluator was built for p={p}, got {len(gammas)} gammas "
+                f"and {len(betas)} betas"
+            )
+        return gammas, betas
+
+    if method == "statevector" or (method == "auto" and n <= exact_limit):
+        hamiltonian = MaxCutHamiltonian(graph)
+
+        def statevector(gammas, betas):
+            gammas, betas = coerce(gammas, betas)
+            return qaoa_expectation_fast(hamiltonian, gammas, betas)
+
+        return statevector
+    if method == "analytic" or (method == "auto" and p == 1):
+        if p != 1:
+            raise ValueError("the analytic engine only supports p=1")
+
+        def analytic(gammas, betas):
+            gammas, betas = coerce(gammas, betas)
+            return maxcut_p1_expectation(graph, gammas[0], betas[0])
+
+        return analytic
+    if method in ("lightcone", "auto"):
+        relabeled = relabel_to_range(graph)
+        try:
+            plan = LightconePlan.build_cached(
+                relabeled, p, max_qubits=exact_limit, cache=plan_cache
+            )
+        except LightconeTooLargeError as exc:
+            raise EngineLimitError(
+                f"graph with {n} nodes at p={p} is beyond exact simulation: {exc}"
+            ) from exc
+
+        def lightcone(gammas, betas):
+            gammas, betas = coerce(gammas, betas)
+            return plan.evaluate(gammas, betas)
+
+        return lightcone
     raise ValueError(f"unknown method {method!r}")
 
 

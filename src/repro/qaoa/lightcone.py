@@ -66,9 +66,13 @@ def _popcount(values: np.ndarray) -> np.ndarray:
 __all__ = [
     "LightconePlan",
     "LightconeTooLargeError",
+    "PlanCache",
+    "bfs_canonical_order",
     "edge_lightcone",
     "lightcone_expectation",
     "lightcone_expectation_reference",
+    "refine_keys",
+    "weighted_edge_list",
 ]
 
 
@@ -215,6 +219,24 @@ class LightconePlan:
             for edge, nodes, count in representatives.values()
         ]
         return cls(p=p, max_qubits=max_qubits, num_edges=num_edges, classes=classes)
+
+    @classmethod
+    def build_cached(
+        cls,
+        graph: nx.Graph,
+        p: int,
+        max_qubits: int = 20,
+        cache: "PlanCache | None" = None,
+    ) -> "LightconePlan":
+        """:meth:`build`, consulting a :class:`PlanCache` when one is given.
+
+        The batch-serving entry point: with ``cache=None`` this is exactly
+        :meth:`build`; with a cache, structurally identical graphs share
+        one compiled plan across any number of jobs.
+        """
+        if cache is None:
+            return cls.build(graph, p, max_qubits=max_qubits)
+        return cache.get_or_build(graph, p, max_qubits=max_qubits)
 
     @property
     def stats(self) -> dict:
@@ -451,11 +473,128 @@ class _CoreDensityClass:
         return matrix
 
 
+# -- plan reuse across evaluations ---------------------------------------------
+
+
+class PlanCache:
+    """Bank of compiled :class:`LightconePlan` objects keyed by exact structure.
+
+    The compile-once/run-many hook for batch serving: a plan is a pure
+    function of the weighted edge list, so reusing a compiled plan across
+    jobs that share a graph (e.g. the same instance priced under several
+    optimizer budgets) is result-neutral -- evaluations are bit-identical
+    to rebuilding.  Keys embed node labels as-is, so callers should pass
+    canonically relabeled (``0..n-1``) graphs; the pipeline already does.
+
+    Entries are evicted least-recently-used beyond ``max_entries``.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._plans: dict[tuple, LightconePlan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def plan_key(graph: nx.Graph, p: int, max_qubits: int) -> tuple:
+        """Exact cache key: qubit count, depth, cap, weighted edge list."""
+        return (graph.number_of_nodes(), p, max_qubits, weighted_edge_list(graph))
+
+    def get_or_build(self, graph: nx.Graph, p: int, max_qubits: int = 20) -> LightconePlan:
+        """The banked plan for ``graph``, compiling (and banking) on a miss."""
+        key = self.plan_key(graph, p, max_qubits)
+        plan = self._plans.pop(key, None)
+        if plan is not None:
+            self.hits += 1
+            self._plans[key] = plan  # re-insert as most recently used
+            return plan
+        self.misses += 1
+        plan = LightconePlan.build(graph, p, max_qubits=max_qubits)
+        self._plans[key] = plan
+        while len(self._plans) > self.max_entries:
+            del self._plans[next(iter(self._plans))]
+        return plan
+
+    @property
+    def size(self) -> int:
+        return len(self._plans)
+
+
 # -- signatures and the per-call reference ------------------------------------
 
 
 def _edge_weight(graph: nx.Graph, u, v) -> float:
     return float(graph[u][v].get("weight", 1.0))
+
+
+def weighted_edge_list(graph: nx.Graph) -> tuple:
+    """Sorted ``(u, v, w)`` edge tuple with ``u <= v``, default weight 1.
+
+    The one weighted-edge-list normalization shared by plan-cache keys and
+    the service layer's canonical forms, so they can never disagree on
+    weight defaults.  Labels are used as-is and must be mutually sortable.
+    """
+    edges = []
+    for a, b, data in graph.edges(data=True):
+        u, v = (a, b) if a <= b else (b, a)
+        edges.append((u, v, float(data.get("weight", 1.0))))
+    return tuple(sorted(edges))
+
+
+def refine_keys(graph: nx.Graph, key: dict, rounds: int = 2) -> dict:
+    """Sharpen label-independent node keys by Weisfeiler-Leman-style rounds.
+
+    Each round replaces a node's key with ``(old key, sorted multiset of
+    (neighbor key, edge weight))``.  Starting from any label-independent
+    ``key`` (degree, weight multisets, distances, ...), the refined keys
+    stay label-independent, so isomorphic graphs refine identically.
+    Shared by the lightcone signature below and the whole-graph canonical
+    form behind :class:`repro.service.JobSpec` fingerprints.
+    """
+    for _ in range(rounds):
+        key = {
+            node: (
+                key[node],
+                tuple(
+                    sorted(
+                        (key[nbr], _edge_weight(graph, node, nbr))
+                        for nbr in graph.neighbors(node)
+                    )
+                ),
+            )
+            for node in graph.nodes()
+        }
+    return key
+
+
+def bfs_canonical_order(graph: nx.Graph, key: dict, start_nodes) -> dict:
+    """Deterministic BFS numbering from ``start_nodes``, ordered by ``key``.
+
+    Nodes are assigned ``0..k-1`` in BFS order; at every step candidates are
+    sorted by their structural ``key`` with the original label as the
+    tiebreak, so labels only decide between exact structural ties -- which
+    costs canonicality on tie-heavy graphs, never correctness, because the
+    caller compares the resulting relabeled edge lists.  Only nodes
+    reachable from the start set are numbered.
+    """
+    order: dict = {}
+    queue = deque()
+    for node in sorted(sorted(start_nodes), key=lambda x: key[x]):
+        if node not in order:
+            order[node] = len(order)
+            queue.append(node)
+    while queue:
+        node = queue.popleft()
+        nbrs = sorted(
+            sorted(n for n in graph.neighbors(node) if n not in order),
+            key=lambda x: key[x],
+        )
+        for n in nbrs:
+            order[n] = len(order)
+            queue.append(n)
+    return order
 
 
 def _signature(graph: nx.Graph, edge: tuple[int, int], nodes: set) -> object:
@@ -489,42 +628,19 @@ def _signature(graph: nx.Graph, edge: tuple[int, int], nodes: set) -> object:
                     nxt.append(nbr)
         frontier = nxt
 
-    key = {
-        node: (
-            dist[node],
-            sub.degree(node),
-            tuple(sorted(_edge_weight(sub, node, nbr) for nbr in sub.neighbors(node))),
-        )
-        for node in sub.nodes()
-    }
-    for _ in range(2):
-        key = {
+    key = refine_keys(
+        sub,
+        {
             node: (
-                key[node],
-                tuple(
-                    sorted(
-                        (key[nbr], _edge_weight(sub, node, nbr))
-                        for nbr in sub.neighbors(node)
-                    )
-                ),
+                dist[node],
+                sub.degree(node),
+                tuple(sorted(_edge_weight(sub, node, nbr) for nbr in sub.neighbors(node))),
             )
             for node in sub.nodes()
-        }
+        },
+    )
 
-    order: dict[int, int] = {}
-    start = sorted(sorted([u, v]), key=lambda x: key[x])
-    for node in start:
-        order[node] = len(order)
-    queue = deque(start)
-    while queue:
-        node = queue.popleft()
-        nbrs = sorted(
-            sorted(n for n in sub.neighbors(node) if n not in order),
-            key=lambda x: key[x],
-        )
-        for n in nbrs:
-            order[n] = len(order)
-            queue.append(n)
+    order = bfs_canonical_order(sub, key, [u, v])
     edges = tuple(
         sorted(
             (min(order[a], order[b]), max(order[a], order[b]), _edge_weight(sub, a, b))

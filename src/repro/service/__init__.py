@@ -1,0 +1,52 @@
+"""Batch serving: deterministic campaigns with a persistent result store.
+
+The amortization layer the paper's economics call for: one cheap
+reduced-graph landscape should serve many expensive evaluations, and one
+batch of similar instances should share reductions, compiled lightcone
+plans, and previously computed results.  The pieces:
+
+``jobs``
+    :class:`JobSpec` -- workload + config with a canonical,
+    relabeling-invariant content fingerprint (built on the weighted
+    signature machinery of :mod:`repro.qaoa.lightcone`) and
+    fingerprint-derived execution seeds, so a job's result is a pure
+    function of its fingerprint.
+``store``
+    :class:`ResultStore` -- append-only, fsync'd, schema-versioned JSONL
+    keyed by fingerprint; repeated jobs are free across process restarts.
+``scheduler``
+    :class:`BatchScheduler` -- dedups exact/isomorphic duplicates, shares
+    reductions per instance and compiled plans per structure, orders
+    execution by a cost model, and streams bit-identical per-job results
+    regardless of grouping.
+``campaign``
+    :class:`Campaign` -- YAML/JSON manifests (or generated dataset
+    suites) run end-to-end with an aggregate report.
+"""
+
+from repro.service.campaign import Campaign, CampaignReport, load_manifest, manifest_specs
+from repro.service.jobs import (
+    JobResult,
+    JobSpec,
+    canonical_graph_form,
+    canonical_problem_form,
+    run_job,
+)
+from repro.service.scheduler import BatchReport, BatchScheduler, JobView
+from repro.service.store import ResultStore
+
+__all__ = [
+    "BatchReport",
+    "BatchScheduler",
+    "Campaign",
+    "CampaignReport",
+    "JobResult",
+    "JobSpec",
+    "JobView",
+    "ResultStore",
+    "canonical_graph_form",
+    "canonical_problem_form",
+    "load_manifest",
+    "manifest_specs",
+    "run_job",
+]

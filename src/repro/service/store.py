@@ -1,0 +1,126 @@
+"""Persistent, append-only result store keyed by job fingerprint.
+
+:class:`ResultStore` makes repeated jobs free across process restarts: one
+JSONL file, one record per completed job, appended with an ``fsync`` so a
+finished job survives a crash the moment :meth:`ResultStore.put` returns.
+Records are schema-versioned; on load, records with an unknown schema are
+skipped (counted, never fatal) and a truncated final line -- the footprint
+of a process killed mid-append -- is tolerated, so a store written by a
+killed campaign always resumes cleanly with every fully written result
+intact.
+
+Later records win on duplicate fingerprints (the file is append-only, so
+"latest" is simply the last line), and all floats round-trip exactly
+through JSON's ``repr``-based encoding -- a resumed result compares
+bit-identical to the original computation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.service.jobs import JobResult
+
+__all__ = ["STORE_SCHEMA", "ResultStore"]
+
+STORE_SCHEMA = 1
+
+
+class ResultStore:
+    """On-disk fingerprint -> :class:`~repro.service.jobs.JobResult` map.
+
+    Parameters
+    ----------
+    path:
+        JSONL file; created (with parents) on first :meth:`put`.  An
+        existing file is indexed on construction.
+    fsync:
+        Flush records to stable storage on every put (default).  Disable
+        only for throwaway stores (tests); durability is the point.
+
+    ``hits`` / ``misses`` count :meth:`get` outcomes -- the counters batch
+    reports and the resume-verification CI job read.
+    """
+
+    def __init__(self, path: str | os.PathLike, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.hits = 0
+        self.misses = 0
+        self.skipped_schema = 0
+        self.corrupt_lines = 0
+        self._index: dict[str, dict] = {}
+        self._load()
+
+    # -- loading -------------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        for position, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A truncated final line is the normal crash footprint;
+                # anything else undecodable is counted and skipped too --
+                # the store must always come up.
+                self.corrupt_lines += 1
+                continue
+            if not isinstance(record, dict) or record.get("schema") != STORE_SCHEMA:
+                self.skipped_schema += 1
+                continue
+            fingerprint = record.get("fingerprint")
+            if not fingerprint:
+                self.corrupt_lines += 1
+                continue
+            self._index[fingerprint] = record
+
+    # -- queries -------------------------------------------------------------
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def fingerprints(self) -> list[str]:
+        return list(self._index)
+
+    def get(self, fingerprint: str) -> JobResult | None:
+        """The stored result for ``fingerprint``, counting hits/misses."""
+        record = self._index.get(fingerprint)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return JobResult.from_payload(
+            fingerprint,
+            record.get("instance", ""),
+            record["payload"],
+            source="store",
+        )
+
+    # -- writes --------------------------------------------------------------
+
+    def put(self, result: JobResult) -> None:
+        """Append one finished job; durable before this method returns."""
+        record = {
+            "schema": STORE_SCHEMA,
+            "fingerprint": result.fingerprint,
+            "instance": result.instance_fingerprint,
+            "payload": result.to_payload(),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        self._index[result.fingerprint] = record

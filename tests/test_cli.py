@@ -1,5 +1,7 @@
 """Tests for the repro.cli artifact-style entry points."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -64,6 +66,89 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["not-a-command"])
+
+
+class TestVersion:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_solve_json_is_machine_readable(self, capsys):
+        code = main([
+            "solve", "--problem", "mis", "-n", "10",
+            "--restarts", "1", "--maxiter", "8", "--seed", "0", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"]["name"] == "mis"
+        assert payload["reduction"]["qubits"] <= 10
+        assert isinstance(payload["expectation"], float)
+        assert payload["sampled_best"] is not None
+
+    def test_sweep_json_is_machine_readable(self, capsys):
+        code = main([
+            "sweep", "-n", "24", "--p", "2", "--num-points", "16", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"]["edges"] == 36
+        assert payload["num_points"] == 16
+        assert payload["energy"]["min"] <= payload["energy"]["max"]
+
+
+class TestBatch:
+    def test_requires_manifest_or_suite(self):
+        with pytest.raises(SystemExit):
+            main(["batch"])
+        with pytest.raises(SystemExit):
+            main(["batch", "manifest.json", "--suite", "mis"])
+
+    def test_suite_end_to_end_with_store_resume(self, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        args = [
+            "batch", "--suite", "maxcut", "--count", "2", "-n", "8",
+            "--restarts", "1", "--maxiter", "8",
+            "--store", store, "--json",
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["computed"] == first["unique_jobs"] == 2
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["computed"] == 0
+        assert second["store_hits"] == 2
+        assert [job["expectation"] for job in first["per_job"]] == [
+            job["expectation"] for job in second["per_job"]
+        ]
+
+    def test_manifest_file_with_report(self, tmp_path, capsys):
+        manifest = {
+            "schema": 1,
+            "defaults": {"restarts": 1, "maxiter": 8},
+            "jobs": [{"kind": "mis", "nodes": 8, "seed": 0, "repeat": 2}],
+        }
+        manifest_path = tmp_path / "jobs.json"
+        manifest_path.write_text(json.dumps(manifest))
+        report_path = tmp_path / "report.json"
+        code = main(["batch", str(manifest_path), "--report", str(report_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 unique" in out
+        report = json.loads(report_path.read_text())
+        assert report["jobs"] == 2
+        assert report["deduped"] == 1
+
+    def test_bad_manifest_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"jobs\": []}")
+        with pytest.raises(SystemExit, match="campaign|jobs"):
+            main(["batch", str(path)])
 
 
 class TestWeightedFlags:

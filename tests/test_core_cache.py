@@ -115,6 +115,112 @@ class TestLandscapeQualityOfHits:
         assert cache.hit_rate >= 0.5
 
 
+def _synthetic_reduction(banked: nx.Graph, original_nodes: int):
+    """A ReductionResult wrapping ``banked`` for direct bank() injection."""
+    from repro.core.annealer import AnnealResult
+    from repro.core.reduction import ReductionResult
+
+    original = nx.path_graph(original_nodes)
+    return ReductionResult(
+        original_graph=original,
+        nodes=set(banked.nodes()),
+        reduced_graph=banked,
+        node_mapping={node: node for node in banked.nodes()},
+        and_ratio=1.0,
+        anneal_result=AnnealResult(
+            nodes=set(banked.nodes()), subgraph=nx.Graph(banked),
+            objective=0.0, steps=0, history=[0.0],
+        ),
+    )
+
+
+class TestIndexAndLRU:
+    def test_lookup_matches_linear_scan(self):
+        """The bucket index must select exactly what the old O(entries)
+        scan selected: the closest-AND acceptable entry."""
+        cache = ReductionCache(reducer=GraphReducer(seed=0), max_entries=32)
+        for seed in range(10):
+            p = (0.25, 0.5, 0.75)[seed % 3]
+            cache.reduce(_connected_er(8 + seed % 4, p, 40 + seed))
+        from repro.utils.graphs import average_node_strength, is_weighted
+
+        for seed in range(6):
+            query = _connected_er(12, (0.3, 0.55, 0.8)[seed % 3], 60 + seed)
+            target = average_node_strength(query)
+            weighted = is_weighted(query)
+            threshold = cache.reducer.and_ratio_threshold
+            best, best_gap = None, np.inf
+            for entry in cache._entries:
+                if entry.graph.number_of_nodes() >= query.number_of_nodes():
+                    continue
+                if entry.weighted != weighted:
+                    continue
+                ratio = entry.and_value / target
+                ratio = ratio if ratio <= 1.0 else 1.0 / ratio
+                if ratio < threshold:
+                    continue
+                gap = abs(entry.and_value - target)
+                if gap < best_gap:
+                    best, best_gap = entry, gap
+            found = cache.lookup(query)
+            if best is None:
+                assert found is None
+            else:
+                assert found is not None
+                assert abs(found.and_value - target) == best_gap
+
+    def test_hit_touches_entry_so_lru_eviction_spares_it(self):
+        cache = ReductionCache(reducer=GraphReducer(seed=0), max_entries=2)
+        hot = nx.cycle_graph(5)  # AND = 2
+        cold = nx.complete_graph(5)  # AND = 4
+        cache.bank(_synthetic_reduction(hot, 10))
+        cache.bank(_synthetic_reduction(cold, 10))
+        # Touch the older (hot) entry via a cycle-like query...
+        assert cache.lookup(nx.cycle_graph(8)) is not None
+        # ...then overflow: the *untouched* complete graph must go.
+        cache.bank(_synthetic_reduction(nx.cycle_graph(6), 12))
+        assert cache.size == 2
+        assert all(entry.and_value < 4.0 for entry in cache._entries)
+
+    def test_fifo_eviction_without_touches(self):
+        cache = ReductionCache(reducer=GraphReducer(seed=0), max_entries=2)
+        for size in (4, 5, 6):
+            cache.bank(_synthetic_reduction(nx.cycle_graph(size), 12))
+        assert [entry.graph.number_of_nodes() for entry in cache._entries] == [5, 6]
+
+    def test_bucket_index_stays_consistent_under_eviction(self):
+        cache = ReductionCache(reducer=GraphReducer(seed=0), max_entries=3)
+        for seed in range(8):
+            cache.bank(
+                _synthetic_reduction(_connected_er(5 + seed % 3, 0.6, 80 + seed), 12)
+            )
+        assert cache.size == 3
+        indexed = sorted(
+            entry_id for ids in cache._buckets.values() for entry_id in ids
+        )
+        assert indexed == sorted(cache._by_id)
+
+    def test_retuned_reducer_threshold_rebuilds_the_index(self):
+        """Swapping the public reducer must not desynchronize bucket width
+        from the live acceptance band (entries banked under the old width
+        would otherwise be silently unreachable)."""
+        cache = ReductionCache(reducer=GraphReducer(seed=0), max_entries=8)
+        cache.bank(_synthetic_reduction(nx.cycle_graph(6), 12))  # AND = 2
+        dense = _connected_er(9, 0.9, 90)  # AND well above 2 / 0.7
+        assert cache.lookup(dense) is None
+        cache.reducer = GraphReducer(and_ratio_threshold=0.25, seed=0)
+        found = cache.lookup(dense)
+        assert found is not None and found.and_value == 2.0
+
+    def test_threshold_one_only_exact_and_matches(self):
+        cache = ReductionCache(
+            reducer=GraphReducer(and_ratio_threshold=1.0, seed=0), max_entries=8
+        )
+        cache.bank(_synthetic_reduction(nx.cycle_graph(5), 12))  # AND exactly 2
+        assert cache.lookup(nx.cycle_graph(9)) is not None  # AND exactly 2
+        assert cache.lookup(nx.complete_graph(9)) is None
+
+
 class TestWeightedIsolation:
     def test_weighted_query_never_hits_unweighted_bank(self):
         """A spin-glass instance must not reuse a weight-blind reduction."""
