@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Serving study: a live daemon, async submission, and crash tolerance.
+
+Walks the ``repro.serve`` stack end to end, in one process:
+
+1. start a :class:`ServeDaemon` (unix socket, persistent store, a
+   process worker pool) on a background thread;
+2. submit a manifest asynchronously and stream results as shards finish;
+3. resubmit the same manifest -- every job is served from the store,
+   nothing executes;
+4. kill one worker process mid-manifest and show that nothing is lost
+   and nothing duplicates: the crashed shard requeues, the pool
+   respawns, and the final results are bit-identical to the clean pass;
+5. drain and shut the daemon down cleanly.
+
+Usage::
+
+    python examples/serve_study.py [--nodes 10] [--count 8] [--workers 2]
+"""
+
+import argparse
+import os
+import signal
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.datasets import suite_manifest
+from repro.serve import ServeClient, ServeDaemon, wait_for_socket
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=10)
+    parser.add_argument("--count", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    manifest = suite_manifest(
+        "maxcut",
+        count=args.count,
+        num_qubits=args.nodes,
+        seed=args.seed,
+        restarts=2,
+        maxiter=20,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        socket_path = Path(tmp) / "serve.sock"
+        daemon = ServeDaemon(
+            socket_path=socket_path,
+            store_path=Path(tmp) / "results.jsonl",
+            workers=args.workers,
+            pool="process",  # real subprocesses, so a kill below is honest
+        )
+        thread = threading.Thread(
+            target=daemon.serve_forever,
+            kwargs={"install_signal_handlers": False},
+            daemon=True,
+        )
+        thread.start()
+        wait_for_socket(socket_path)
+        client = ServeClient(socket_path)
+
+        print(f"=== daemon up: {args.workers} workers, "
+              f"pids {client.status()['workers']['pids']} ===")
+
+        print("\n=== submit + stream ===")
+        start = time.perf_counter()
+        ticket = client.submit(manifest)["ticket"]
+        print(f"ticket {ticket} (submit returned in "
+              f"{(time.perf_counter() - start) * 1e3:.1f} ms)")
+        first_pass = {}
+        for event in client.stream(ticket):
+            if event["event"] == "result":
+                first_pass[event["fingerprint"]] = event["result"]
+                print(f"  {event['label']}: "
+                      f"expectation={event['result']['expectation']:.4f}")
+            else:
+                print(f"  {event['event']}: {event.get('counts')}")
+
+        print("\n=== resubmit: served from the store ===")
+        again = client.submit(manifest)
+        statuses = [job["status"] for job in again["jobs"]]
+        print(f"statuses: {sorted(set(statuses))} (nothing queued)")
+
+        print("\n=== kill one worker mid-manifest ===")
+        fresh = suite_manifest(
+            "maxcut",
+            count=args.count,
+            num_qubits=args.nodes,
+            seed=args.seed + 1000,  # unseen instances: real work to interrupt
+            restarts=2,
+            maxiter=20,
+        )
+        ticket = client.submit(fresh)["ticket"]
+        victim = client.status()["workers"]["pids"][0]
+        os.kill(victim, signal.SIGKILL)
+        print(f"killed worker pid {victim}")
+        final = client.wait(ticket, timeout=600)
+        status = client.status()
+        print(f"counts={final['counts']} crashes={status['queue']['crashes']} "
+              f"respawns={status['workers']['respawns']}")
+        labels = [job["label"] for job in final["jobs"]]
+        assert len(labels) == len(set(labels)) == args.count, "lost or duplicated jobs"
+
+        print("\n=== drain + shutdown ===")
+        client.shutdown()
+        thread.join(timeout=60)
+        print(f"daemon stopped, socket removed: {not socket_path.exists()}")
+
+
+if __name__ == "__main__":
+    main()

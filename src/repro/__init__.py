@@ -40,6 +40,11 @@ Subpackages
     Batch serving: :class:`JobSpec` fingerprints, the persistent
     :class:`ResultStore`, the deduplicating :class:`BatchScheduler`, and
     manifest-driven :class:`Campaign` runs (``red-qaoa batch``).
+``repro.serve``
+    The long-running job daemon: a fingerprint-sharded queue with
+    backpressure and dead letters, a deterministic worker pool (N workers
+    bit-identical to 1), and a unix-socket submit/poll/stream protocol
+    (``red-qaoa serve`` / ``red-qaoa submit``).
 """
 
 from repro.core import GraphReducer, RedQAOA, ReductionResult, simulated_annealing
@@ -94,4 +99,4 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"

@@ -30,6 +30,14 @@ isomorphic instances are deduplicated, reductions and compiled lightcone
 plans are shared, and a ``--store`` file makes the campaign resumable
 across process restarts with zero recomputation.
 
+``serve`` keeps a :mod:`repro.serve` daemon alive on a unix socket:
+clients submit manifests asynchronously and poll tickets while a
+deterministic worker pool (``--workers N``) executes fingerprint-sharded
+jobs behind the store.  ``submit`` is the matching client: it sends a
+manifest (or generated suite) to a running daemon and waits for -- or
+just tickets -- the results.  ``batch --workers N`` runs the same worker
+pool in-process, without a daemon.
+
 ``solve``/``sweep``/``batch`` accept ``--json`` for machine-readable
 output, and ``red-qaoa --version`` reports the package version -- the
 hooks batch tooling builds on.
@@ -204,8 +212,72 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=("exact", "cross-instance"),
                        help="reduction sharing: exact (bit-identical) or "
                             "cross-instance (AND-bucket bank, approximate)")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="worker processes for execution (results are "
+                            "bit-identical for any worker count)")
+    batch.add_argument("--pool", default=None, choices=("inline", "process"),
+                       help="force the worker pool kind (default: inline for "
+                            "--workers 1, process otherwise)")
     batch.add_argument("--json", action="store_true",
                        help="emit the full JSON report instead of text")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sharded job daemon on a unix socket",
+    )
+    serve.add_argument("--socket", required=True,
+                       help="unix socket path to listen on")
+    serve.add_argument("--store", default=None,
+                       help="persistent JSONL result store shared by all submissions")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 executes inline in the daemon)")
+    serve.add_argument("--high-water", type=int, default=1024,
+                       help="queue depth beyond which submissions are rejected "
+                            "with a retry-after hint")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="attempts (failures or worker crashes) before a job "
+                            "is parked as a dead letter")
+    serve.add_argument("--shard-prefix", type=int, default=1,
+                       help="fingerprint hex-prefix length defining the shards "
+                            "(1 = 16 shards)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a manifest to a running serve daemon",
+    )
+    submit.add_argument("manifest", nargs="?", default=None,
+                        help="manifest file (YAML or JSON); omit with --suite")
+    submit.add_argument("--socket", required=True,
+                        help="unix socket path of the daemon")
+    submit.add_argument("--suite", default=None, choices=PROBLEM_KINDS,
+                        help="generate the manifest: a dataset suite of this workload")
+    submit.add_argument("--count", type=int, default=8,
+                        help="suite size (with --suite)")
+    submit.add_argument("-n", "--nodes", type=int, default=12,
+                        help="suite instance size (with --suite)")
+    submit.add_argument("--edge-prob", type=float, default=0.35,
+                        help="G(n, p) density for graph-structured suites")
+    submit.add_argument("--weight-dist", default=None,
+                        choices=("uniform", "gaussian", "spin"),
+                        help="edge-weight / coupling distribution for maxcut or sk suites")
+    submit.add_argument("--penalty", type=float, default=2.0,
+                        help="constraint penalty for mis / vertex-cover suites")
+    submit.add_argument("--qubo-density", type=float, default=0.5,
+                        help="off-diagonal fill for qubo suites")
+    submit.add_argument("--p", type=int, default=1, help="QAOA layers (suite default)")
+    submit.add_argument("--restarts", type=int, default=3)
+    submit.add_argument("--maxiter", type=int, default=40)
+    submit.add_argument("--finetune-maxiter", type=int, default=0)
+    submit.add_argument("--shots", type=int, default=1024)
+    submit.add_argument("--seed", type=int, default=0,
+                        help="first suite seed (job i uses seed + i)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the ticket and return without waiting "
+                             "for results")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="give up waiting after this many seconds")
+    submit.add_argument("--json", action="store_true",
+                        help="emit the final poll reply as JSON")
     return parser
 
 
@@ -499,41 +571,47 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    import json
-
+def _manifest_from_args(args: argparse.Namespace) -> dict:
+    """Resolve ``batch``/``submit`` arguments into one manifest mapping."""
     from repro.datasets import suite_manifest
-    from repro.service import Campaign, load_manifest
+    from repro.service import load_manifest
 
     if (args.manifest is None) == (args.suite is None):
         raise SystemExit("pass exactly one of a manifest file or --suite KIND")
     if args.manifest is not None:
         try:
-            manifest = load_manifest(args.manifest)
+            return load_manifest(args.manifest)
         except (OSError, ValueError) as exc:
             raise SystemExit(f"error reading manifest {args.manifest!r}: {exc}")
-    else:
-        generator = {}
-        if args.suite in ("maxcut", "mis", "vertex-cover"):
-            generator["edge_probability"] = args.edge_prob
-        if args.weight_dist is not None:
-            generator["weight_dist"] = args.weight_dist
-        if args.suite in ("mis", "vertex-cover"):
-            generator["penalty"] = args.penalty
-        if args.suite == "qubo":
-            generator["qubo_density"] = args.qubo_density
-        manifest = suite_manifest(
-            args.suite,
-            count=args.count,
-            num_qubits=args.nodes,
-            seed=args.seed,
-            generator=generator,
-            p=args.p,
-            restarts=args.restarts,
-            maxiter=args.maxiter,
-            finetune_maxiter=args.finetune_maxiter,
-            shots=args.shots,
-        )
+    generator = {}
+    if args.suite in ("maxcut", "mis", "vertex-cover"):
+        generator["edge_probability"] = args.edge_prob
+    if args.weight_dist is not None:
+        generator["weight_dist"] = args.weight_dist
+    if args.suite in ("mis", "vertex-cover"):
+        generator["penalty"] = args.penalty
+    if args.suite == "qubo":
+        generator["qubo_density"] = args.qubo_density
+    return suite_manifest(
+        args.suite,
+        count=args.count,
+        num_qubits=args.nodes,
+        seed=args.seed,
+        generator=generator,
+        p=args.p,
+        restarts=args.restarts,
+        maxiter=args.maxiter,
+        finetune_maxiter=args.finetune_maxiter,
+        shots=args.shots,
+    )
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import Campaign
+
+    manifest = _manifest_from_args(args)
 
     def progress(spec, result):
         if not args.json:
@@ -547,7 +625,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     try:
         campaign = Campaign.from_manifest(
-            manifest, store_path=args.store, reduction_reuse=args.reuse
+            manifest,
+            store_path=args.store,
+            reduction_reuse=args.reuse,
+            workers=args.workers,
+            pool=args.pool,
         )
     except ValueError as exc:
         raise SystemExit(f"error building the campaign: {exc}")
@@ -579,6 +661,74 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeDaemon
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    daemon = ServeDaemon(
+        socket_path=args.socket,
+        store_path=args.store,
+        workers=args.workers,
+        shard_prefix=args.shard_prefix,
+        high_water=args.high_water,
+        max_attempts=args.max_attempts,
+    )
+    store_note = f", store {args.store}" if args.store else ""
+    print(f"serving on {args.socket} with {args.workers} worker(s){store_note}; "
+          f"SIGTERM drains and exits", flush=True)
+    daemon.serve_forever()
+    print("daemon stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import Backpressure, ServeClient, ServeError
+
+    manifest = _manifest_from_args(args)
+    client = ServeClient(args.socket)
+    try:
+        reply = client.submit_with_retry(manifest)
+    except Backpressure as exc:
+        raise SystemExit(
+            f"daemon overloaded (retry after {exc.retry_after:.1f}s): {exc}"
+        )
+    except (ServeError, OSError) as exc:
+        raise SystemExit(f"submit failed: {exc}")
+    ticket = reply["ticket"]
+    cached = sum(1 for job in reply["jobs"] if job["status"] == "cached")
+    if not args.json:
+        print(f"ticket {ticket}: {len(reply['jobs'])} jobs "
+              f"({cached} already cached)")
+    if args.no_wait:
+        if args.json:
+            print(json.dumps(reply, indent=2))
+        return 0
+    try:
+        final = client.wait(ticket, timeout=args.timeout)
+    except TimeoutError as exc:
+        raise SystemExit(str(exc))
+    except (ServeError, OSError) as exc:
+        raise SystemExit(f"poll failed: {exc}")
+    dead = final["counts"].get("dead", 0)
+    if args.json:
+        print(json.dumps(final, indent=2))
+        return 0 if not dead else 1
+    for entry in final["jobs"]:
+        if entry["status"] == "done":
+            result = entry["result"]
+            best = result["best_value"]
+            best_text = f"{best:.4f}" if best is not None else "n/a"
+            print(f"  done {entry['label']}: "
+                  f"expectation={result['expectation']:.4f}, best={best_text}")
+        else:
+            print(f"  DEAD {entry['label']}: {entry.get('error', 'unknown error')}")
+    print(f"ticket {ticket}: {final['counts'].get('done', 0)} done, {dead} dead")
+    return 0 if not dead else 1
+
+
 _COMMANDS = {
     "mse-noisy": _cmd_mse_noisy,
     "mse-ideal": _cmd_mse_ideal,
@@ -586,6 +736,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "solve": _cmd_solve,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -1,0 +1,356 @@
+"""Fingerprint-sharded job queue with dedup, priority, and backpressure.
+
+The serve layer's scheduling heart.  Jobs land in **shards** keyed by a
+fingerprint prefix (``shard_prefix`` hex characters, so 16^k shards):
+fingerprints are uniform hashes, so shards balance without any placement
+policy, and a job's shard is a pure function of its fingerprint -- the
+same job always lands in the same shard, on any daemon, on any day.
+Workers claim *whole shards* (see :mod:`repro.serve.workers`), which keeps
+every scheduling decision coarse and auditable, and -- because each job's
+result is a pure function of its fingerprint (the PR 5 contract in
+:mod:`repro.service.jobs`) -- provably unable to change any answer.
+
+Scheduling policy, all deterministic:
+
+- **priority**: claims go cheapest-shard-first by the
+  :func:`~repro.analysis.runtime.estimate_pipeline_cost` model (a shard's
+  priority is its cheapest pending job; ties break on shard id), so small
+  jobs stream results early no matter when they were submitted;
+- **dedup-on-enqueue**: a submitted fingerprint already pending, running,
+  completed this session, or present in the
+  :class:`~repro.service.store.ResultStore` is never enqueued twice --
+  the submitter is told which of those it was;
+- **backpressure**: past ``high_water`` pending jobs, submissions are
+  rejected with a ``retry_after`` hint instead of being buffered without
+  bound -- the client backs off, the daemon never swells.
+
+Failure handling is bounded and never wedges the queue: a failed or
+crashed-out job is requeued until its attempt budget (``max_attempts``)
+is spent, then **parked** as a dead-letter record (written through the
+store when one is attached) and the shard moves on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.analysis.runtime import estimate_pipeline_cost
+from repro.service.jobs import JobResult, JobSpec
+from repro.service.store import ResultStore
+
+__all__ = [
+    "DEFAULT_HIGH_WATER",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_SHARD_PREFIX",
+    "QueuedJob",
+    "ShardClaim",
+    "ShardedJobQueue",
+    "SubmitOutcome",
+]
+
+DEFAULT_SHARD_PREFIX = 1
+DEFAULT_HIGH_WATER = 1024
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Submission outcomes (``SubmitOutcome.status``).
+QUEUED = "queued"  # accepted; will execute
+INFLIGHT = "inflight"  # same fingerprint already pending or running
+CACHED = "cached"  # result already known (this session or the store)
+REJECTED = "rejected"  # backpressure: retry after ``retry_after`` seconds
+
+
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """What happened to one submitted spec."""
+
+    status: str
+    fingerprint: str
+    result: JobResult | None = None  # set when status == CACHED
+    retry_after: float | None = None  # set when status == REJECTED
+
+    @property
+    def accepted(self) -> bool:
+        return self.status != REJECTED
+
+
+@dataclass
+class QueuedJob:
+    """One unique fingerprint waiting in (or crashed back into) a shard."""
+
+    spec: JobSpec
+    fingerprint: str
+    shard: str
+    cost: float
+    attempts: int = 0
+
+
+@dataclass
+class ShardClaim:
+    """A whole shard's pending jobs, handed to one worker.
+
+    ``jobs`` is sorted by fingerprint -- the worker executes and reports
+    in that order, which is what makes N workers merge bit-for-bit like
+    one.  ``reductions`` optionally carries precomputed per-instance
+    reductions (the batch scheduler's phase 1); absent, workers compute
+    them per shard -- identical either way, reductions are pure functions
+    of the instance fingerprint.
+    """
+
+    id: int
+    shard: str
+    jobs: list[QueuedJob]
+    reductions: dict | None = None
+    done: set = field(default_factory=set)  # fingerprints resolved so far
+
+    @property
+    def specs(self) -> list[JobSpec]:
+        return [job.spec for job in self.jobs]
+
+    def spec_of(self, fingerprint: str) -> JobSpec:
+        return next(job.spec for job in self.jobs if job.fingerprint == fingerprint)
+
+    def unresolved(self) -> list[QueuedJob]:
+        return [job for job in self.jobs if job.fingerprint not in self.done]
+
+
+class ShardedJobQueue:
+    """Deterministic sharded queue over unique job fingerprints.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`~repro.service.store.ResultStore`.  Consulted for
+        dedup-on-enqueue, written through on completion, and the home of
+        dead-letter records.
+    shard_prefix:
+        Fingerprint hex characters that name a shard (1 -> 16 shards).
+    high_water:
+        Pending-job bound; submissions past it are rejected with a
+        ``retry_after`` hint.
+    max_attempts:
+        Execution attempts (failures *or* worker crashes) before a job is
+        parked as a dead letter.
+    reductions:
+        Optional ``{instance_fingerprint: ReductionResult}`` map attached
+        to claims, so pool workers skip recomputing shared reductions.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        shard_prefix: int = DEFAULT_SHARD_PREFIX,
+        high_water: int = DEFAULT_HIGH_WATER,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        reductions: dict | None = None,
+    ) -> None:
+        if shard_prefix < 1:
+            raise ValueError(f"shard_prefix must be >= 1, got {shard_prefix}")
+        if high_water < 1:
+            raise ValueError(f"high_water must be >= 1, got {high_water}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.store = store
+        self.shard_prefix = shard_prefix
+        self.high_water = high_water
+        self.max_attempts = max_attempts
+        self.reductions = reductions
+        self.completed: dict[str, JobResult] = {}
+        self.dead: dict[str, dict] = {}
+        self.submitted = 0
+        self.deduped = 0
+        self.rejected = 0
+        self.crashes = 0
+        self._pending: dict[str, dict[str, QueuedJob]] = {}  # shard -> fp -> job
+        self._running: dict[str, QueuedJob] = {}  # fp -> job (claimed)
+        self._claimed_shards: set[str] = set()
+        self._claim_ids = itertools.count(1)
+
+    # -- shape ---------------------------------------------------------------
+
+    def shard_of(self, fingerprint: str) -> str:
+        return fingerprint[: self.shard_prefix]
+
+    @property
+    def depth(self) -> int:
+        """Pending jobs across all shards (excludes running)."""
+        return sum(len(jobs) for jobs in self._pending.values())
+
+    @property
+    def num_running(self) -> int:
+        return len(self._running)
+
+    def is_idle(self) -> bool:
+        """Nothing pending and nothing claimed: safe to drain/stop."""
+        return self.depth == 0 and not self._running
+
+    def state_of(self, fingerprint: str) -> str:
+        """``"completed"`` / ``"dead"`` / ``"running"`` / ``"pending"`` /
+        ``"unknown"`` (never seen, or only known to the store)."""
+        if fingerprint in self.completed:
+            return "completed"
+        if fingerprint in self.dead:
+            return "dead"
+        if fingerprint in self._running:
+            return "running"
+        if fingerprint in self._pending.get(self.shard_of(fingerprint), {}):
+            return "pending"
+        return "unknown"
+
+    def retry_after(self) -> float:
+        """Backoff hint for rejected submissions, monotone in the backlog."""
+        backlog = self.depth + self.num_running
+        return round(1.0 + 4.0 * backlog / self.high_water, 3)
+
+    def stats(self) -> dict:
+        return {
+            "depth": self.depth,
+            "running": self.num_running,
+            "completed": len(self.completed),
+            "dead": len(self.dead),
+            "submitted": self.submitted,
+            "deduped": self.deduped,
+            "rejected": self.rejected,
+            "crashes": self.crashes,
+            "shards": sorted(
+                shard for shard, jobs in self._pending.items() if jobs
+            ),
+            "high_water": self.high_water,
+        }
+
+    # -- submission ----------------------------------------------------------
+
+    def lookup(self, fingerprint: str) -> JobResult | None:
+        """A known result: this session's completions, then the store."""
+        found = self.completed.get(fingerprint)
+        if found is None and self.store is not None:
+            found = self.store.get(fingerprint)
+        return found
+
+    def submit(self, spec: JobSpec) -> SubmitOutcome:
+        """Admit one spec: dedup, then backpressure, then enqueue."""
+        fingerprint = spec.fingerprint
+        self.submitted += 1
+        found = self.lookup(fingerprint)
+        if found is not None:
+            self.deduped += 1
+            return SubmitOutcome(CACHED, fingerprint, result=found)
+        shard = self.shard_of(fingerprint)
+        if fingerprint in self._running or fingerprint in self._pending.get(shard, {}):
+            self.deduped += 1
+            return SubmitOutcome(INFLIGHT, fingerprint)
+        if self.depth >= self.high_water:
+            self.rejected += 1
+            return SubmitOutcome(REJECTED, fingerprint, retry_after=self.retry_after())
+        job = QueuedJob(
+            spec=spec,
+            fingerprint=fingerprint,
+            shard=shard,
+            cost=estimate_pipeline_cost(
+                spec.num_qubits,
+                p=spec.p,
+                restarts=spec.restarts,
+                maxiter=spec.maxiter,
+                finetune_maxiter=spec.finetune_maxiter,
+            ),
+        )
+        self._pending.setdefault(shard, {})[fingerprint] = job
+        return SubmitOutcome(QUEUED, fingerprint)
+
+    # -- claiming ------------------------------------------------------------
+
+    def claim_next(self) -> ShardClaim | None:
+        """Claim the best unclaimed shard, whole, for one worker.
+
+        Cheapest-first by the shard's cheapest pending job (cost-ordered
+        result streaming); a claimed shard accumulates new submissions for
+        its *next* claim, so two workers never hold one shard at once.
+        """
+        candidates = [
+            (min(job.cost for job in jobs.values()), shard)
+            for shard, jobs in self._pending.items()
+            if jobs and shard not in self._claimed_shards
+        ]
+        if not candidates:
+            return None
+        _, shard = min(candidates)
+        jobs = sorted(self._pending[shard].values(), key=lambda job: job.fingerprint)
+        self._pending[shard].clear()
+        for job in jobs:
+            self._running[job.fingerprint] = job
+        self._claimed_shards.add(shard)
+        reductions = None
+        if self.reductions is not None:
+            reductions = {
+                key: self.reductions[key]
+                for key in {job.spec.instance_fingerprint for job in jobs}
+                if key in self.reductions
+            }
+        return ShardClaim(
+            id=next(self._claim_ids), shard=shard, jobs=jobs, reductions=reductions
+        )
+
+    # -- resolution ----------------------------------------------------------
+
+    def complete(self, claim: ShardClaim, fingerprint: str, result: JobResult) -> None:
+        """One job of a claim finished; durable (when a store is attached)
+        before this returns."""
+        self._running.pop(fingerprint, None)
+        claim.done.add(fingerprint)
+        self.completed[fingerprint] = result
+        if self.store is not None:
+            self.store.put(result)
+
+    def fail(self, claim: ShardClaim, fingerprint: str, error: str) -> str:
+        """One job of a claim raised; requeue or park it.
+
+        Returns ``"requeued"`` or ``"dead"``.
+        """
+        job = self._running.pop(fingerprint, None)
+        claim.done.add(fingerprint)
+        if job is None:  # unknown fingerprint: nothing to do
+            return "dead"
+        job.attempts += 1
+        if job.attempts >= self.max_attempts:
+            self._park(job, error)
+            return "dead"
+        self._pending.setdefault(job.shard, {})[fingerprint] = job
+        return "requeued"
+
+    def finish_claim(self, claim: ShardClaim) -> None:
+        """The worker reported the whole shard done; make it claimable again."""
+        self._claimed_shards.discard(claim.shard)
+
+    def release_crashed(self, claim: ShardClaim) -> list[QueuedJob]:
+        """The claiming worker died; requeue its unfinished jobs.
+
+        Completed jobs stay completed (their results were already recorded
+        when they streamed back) -- nothing is lost, nothing re-runs.  Each
+        unfinished job is charged one attempt, so a poison pill that kills
+        its worker every time still dead-letters after ``max_attempts``
+        rather than crash-looping forever.  Returns the requeued jobs.
+        """
+        self.crashes += 1
+        requeued = []
+        for job in claim.unresolved():
+            self._running.pop(job.fingerprint, None)
+            job.attempts += 1
+            if job.attempts >= self.max_attempts:
+                self._park(job, "worker crashed while executing this shard")
+            else:
+                self._pending.setdefault(job.shard, {})[job.fingerprint] = job
+                requeued.append(job)
+        self.finish_claim(claim)
+        return requeued
+
+    def _park(self, job: QueuedJob, error: str) -> None:
+        record = {
+            "error": str(error),
+            "attempts": job.attempts,
+            "instance": job.spec.instance_fingerprint,
+        }
+        self.dead[job.fingerprint] = record
+        if self.store is not None:
+            self.store.park(
+                job.fingerprint, job.spec.instance_fingerprint, error, job.attempts
+            )

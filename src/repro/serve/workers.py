@@ -1,0 +1,418 @@
+"""Deterministic worker pools: N workers, bit-for-bit one worker's answers.
+
+A worker executes whole :class:`~repro.serve.queue.ShardClaim` batches.
+Within a claim, jobs run in fingerprint order with one reduction per
+instance fingerprint (computed in sorted instance order unless the claim
+carries precomputed ones); each job is
+:func:`~repro.service.jobs.run_job` -- a pure function of its fingerprint.
+Consequently *every* pool below satisfies the purity contract: for any
+worker count, any shard assignment, any interleaving, and any number of
+crash-requeues, the per-job results are bit-identical to one worker and
+to N sequential ``run_job`` calls.  Parallelism can only change *when* a
+result lands, never *what* it is.
+
+Two pools, one interface (``idle_workers`` / ``dispatch`` / ``poll`` /
+``close``):
+
+:class:`InlineWorkerPool`
+    Executes claims synchronously in the calling process, sharing one
+    compiled-plan cache.  The ``workers=1`` path of both batch and serve
+    modes -- zero IPC, zero pickling.
+:class:`ProcessWorkerPool`
+    N persistent ``multiprocessing`` workers fed over pipes, each with a
+    process-local plan cache, streaming per-job messages back as they
+    finish.  A worker that dies mid-claim (killed, segfaulted, or a
+    deliberate :class:`CrashPoint`) surfaces as a ``worker_crashed``
+    event; the driver requeues its unfinished jobs and the pool respawns
+    a replacement, so a kill costs at most the jobs that were in flight
+    -- never a completed result, never a duplicate.
+
+:func:`pump` is the one scheduling step shared by ``red-qaoa batch`` and
+the serve daemon: claim shards for idle workers, collect events, resolve
+them against the queue.  :func:`drain` loops it until the queue is empty.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+from collections import deque
+from dataclasses import dataclass
+
+from repro.qaoa.lightcone import PlanCache
+from repro.serve.queue import ShardClaim, ShardedJobQueue
+from repro.service.jobs import JobResult, run_job
+
+__all__ = [
+    "CrashPoint",
+    "InlineWorkerPool",
+    "ProcessWorkerPool",
+    "WorkerEvent",
+    "drain",
+    "execute_shard",
+    "make_pool",
+    "pump",
+]
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """Deterministic crash-once fault injection (tests and the CI smoke job).
+
+    A process worker about to execute a fingerprint in ``fingerprints``
+    first tries to delete ``token``; whichever worker wins the atomic
+    unlink dies on the spot with ``os._exit``.  The token can only be
+    deleted once, so the crash happens exactly once no matter how often
+    the job is requeued -- which is what lets a test assert the recovery
+    path converges.  Honored only inside process workers; the inline pool
+    never sees faults.
+    """
+
+    fingerprints: frozenset
+    token: str
+
+    def trip(self, fingerprint: str) -> None:
+        if fingerprint in self.fingerprints:
+            try:
+                os.unlink(self.token)
+            except FileNotFoundError:
+                return  # already tripped on an earlier attempt
+            os._exit(17)
+
+
+@dataclass(frozen=True)
+class WorkerEvent:
+    """One message out of a pool.
+
+    ``kind`` is ``"result"`` (with ``result``), ``"job_failed"`` (with
+    ``error``), ``"shard_done"``, or ``"worker_crashed"``.
+    """
+
+    kind: str
+    claim_id: int
+    fingerprint: str | None = None
+    result: JobResult | None = None
+    error: str | None = None
+
+
+def execute_shard(specs, plan_cache=None, reductions=None, fault=None):
+    """Run one claim's specs in fingerprint order; yield per-job outcomes.
+
+    Yields ``("result", fingerprint, JobResult)`` for each success and
+    ``("failed", fingerprint, error_text)`` for each job whose execution
+    raised -- a failure never stops the rest of the shard.  Reductions are
+    shared per instance fingerprint within the shard (or taken from
+    ``reductions`` when the claim carries precomputed ones); both paths
+    are pure functions of the instance fingerprint, hence bit-identical.
+    """
+    specs = sorted(specs, key=lambda spec: spec.fingerprint)
+    shared = dict(reductions) if reductions else {}
+    for spec in specs:
+        if fault is not None:
+            fault.trip(spec.fingerprint)
+        try:
+            instance_fp = spec.instance_fingerprint
+            if instance_fp not in shared:
+                shared[instance_fp] = spec.compute_reduction()
+            result = run_job(
+                spec, reduction=shared[instance_fp], plan_cache=plan_cache
+            )
+        except Exception as exc:  # noqa: BLE001 - reported, never wedges the shard
+            yield "failed", spec.fingerprint, f"{type(exc).__name__}: {exc}"
+            continue
+        yield "result", spec.fingerprint, result
+
+
+class InlineWorkerPool:
+    """Synchronous single-worker pool running in the calling process.
+
+    Shares ``plan_cache`` across every claim (the batch scheduler passes
+    its own, so compiled lightcone plans keep amortizing exactly as in
+    the pre-pool code path).
+    """
+
+    workers = 1
+
+    def __init__(self, plan_cache: PlanCache | None = None) -> None:
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self._events: deque[WorkerEvent] = deque()
+
+    def idle_workers(self) -> int:
+        return 1
+
+    def worker_pids(self) -> list[int]:
+        return [os.getpid()]
+
+    def dispatch(self, claim: ShardClaim) -> None:
+        for kind, fingerprint, payload in execute_shard(
+            claim.specs, plan_cache=self.plan_cache, reductions=claim.reductions
+        ):
+            if kind == "result":
+                self._events.append(
+                    WorkerEvent("result", claim.id, fingerprint, result=payload)
+                )
+            else:
+                self._events.append(
+                    WorkerEvent("job_failed", claim.id, fingerprint, error=payload)
+                )
+        self._events.append(WorkerEvent("shard_done", claim.id))
+
+    def poll(self, timeout: float = 0.0) -> list[WorkerEvent]:
+        events = list(self._events)
+        self._events.clear()
+        return events
+
+    def close(self) -> None:
+        self._events.clear()
+
+
+def _process_worker_main(conn, fault: CrashPoint | None) -> None:
+    """Worker loop: receive claims, stream per-job messages back."""
+    # The daemon's Ctrl-C must not tear workers down mid-job; orderly
+    # shutdown arrives as a "stop" message (or EOF when the parent died).
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    plan_cache = PlanCache()
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message[0] == "stop":
+            break
+        _, claim_id, specs, reductions = message
+        for kind, fingerprint, payload in execute_shard(
+            specs, plan_cache=plan_cache, reductions=reductions, fault=fault
+        ):
+            conn.send((kind, claim_id, fingerprint, payload))
+        conn.send(("done", claim_id, None, None))
+    conn.close()
+
+
+class _Worker:
+    def __init__(self, worker_id: int, fault: CrashPoint | None) -> None:
+        self.id = worker_id
+        self.claim_id: int | None = None
+        parent_conn, child_conn = multiprocessing.Pipe()
+        self.conn = parent_conn
+        self.process = multiprocessing.Process(
+            target=_process_worker_main,
+            args=(child_conn, fault),
+            name=f"repro-serve-worker-{worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+
+class ProcessWorkerPool:
+    """N persistent worker processes with crash detection and respawn."""
+
+    def __init__(self, workers: int, fault: CrashPoint | None = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.fault = fault
+        self.respawns = 0
+        self._ids = iter(range(1, 1_000_000))
+        self._pool: list[_Worker] = [
+            _Worker(next(self._ids), fault) for _ in range(workers)
+        ]
+        self._pending: list[WorkerEvent] = []  # crashes detected at dispatch
+        self._closed = False
+
+    def idle_workers(self) -> int:
+        return sum(1 for worker in self._pool if worker.claim_id is None)
+
+    def worker_pids(self) -> list[int]:
+        return [worker.process.pid for worker in self._pool]
+
+    def dispatch(self, claim: ShardClaim) -> None:
+        worker = min(
+            (w for w in self._pool if w.claim_id is None), key=lambda w: w.id
+        )
+        worker.claim_id = claim.id
+        try:
+            worker.conn.send(("run", claim.id, claim.specs, claim.reductions))
+        except (BrokenPipeError, OSError):
+            # The worker died while idle (killed between claims): surface
+            # it as a crash at the next poll and respawn, exactly as a
+            # mid-claim death would -- the claim requeues, nothing is lost.
+            self._pending.append(WorkerEvent("worker_crashed", claim.id))
+            self._replace(worker)
+
+    def poll(self, timeout: float = 0.05) -> list[WorkerEvent]:
+        """Collect every available worker message; detect crashes.
+
+        A worker whose pipe hits EOF (or whose process died) while holding
+        a claim yields one ``worker_crashed`` event and is replaced, so
+        the pool always converges back to its configured size.
+        """
+        events: list[WorkerEvent] = list(self._pending)
+        self._pending.clear()
+        busy = [worker for worker in self._pool if worker.claim_id is not None]
+        if not busy:
+            return events
+        ready = multiprocessing.connection.wait(
+            [worker.conn for worker in busy], timeout
+        )
+        for worker in busy:
+            if worker.conn not in ready:
+                continue
+            try:
+                while worker.conn.poll():
+                    kind, claim_id, fingerprint, payload = worker.conn.recv()
+                    if kind == "result":
+                        events.append(
+                            WorkerEvent("result", claim_id, fingerprint, result=payload)
+                        )
+                    elif kind == "failed":
+                        events.append(
+                            WorkerEvent(
+                                "job_failed", claim_id, fingerprint, error=payload
+                            )
+                        )
+                    elif kind == "done":
+                        events.append(WorkerEvent("shard_done", claim_id))
+                        worker.claim_id = None
+            except (EOFError, OSError):
+                events.append(WorkerEvent("worker_crashed", worker.claim_id))
+                self._replace(worker)
+        return events
+
+    def _replace(self, worker: _Worker) -> None:
+        worker.conn.close()
+        if worker.process.is_alive():  # pragma: no cover - EOF implies death
+            worker.process.terminate()
+        worker.process.join(timeout=5)
+        self._pool.remove(worker)
+        if not self._closed:
+            self._pool.append(_Worker(next(self._ids), self.fault))
+            self.respawns += 1
+
+    def close(self) -> None:
+        self._closed = True
+        for worker in self._pool:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._pool:
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5)
+            worker.conn.close()
+        self._pool.clear()
+
+
+def make_pool(
+    kind: str | None,
+    workers: int,
+    plan_cache: PlanCache | None = None,
+    fault: CrashPoint | None = None,
+):
+    """Build a pool: ``kind`` is ``"inline"``, ``"process"``, or ``None``
+    to pick inline for one worker and processes otherwise."""
+    if kind is None:
+        kind = "inline" if workers <= 1 else "process"
+    if kind == "inline":
+        if workers > 1:
+            raise ValueError("the inline pool is single-worker; use pool='process'")
+        return InlineWorkerPool(plan_cache=plan_cache)
+    if kind == "process":
+        return ProcessWorkerPool(workers, fault=fault)
+    raise ValueError(f"pool must be 'inline' or 'process', got {kind!r}")
+
+
+class _NullLock:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_LOCK = _NullLock()
+
+
+def pump(
+    queue: ShardedJobQueue,
+    pool,
+    claims: dict[int, ShardClaim],
+    on_result=None,
+    on_dead=None,
+    timeout: float = 0.05,
+    lock=None,
+    landed=None,
+) -> bool:
+    """One scheduling step: dispatch ready shards, resolve worker events.
+
+    The single execution path under both ``red-qaoa batch`` and the serve
+    daemon.  ``claims`` is the caller-owned map of outstanding claim ids;
+    ``on_result(spec, result)`` fires per completed job (after the result
+    is durable in the queue/store) and ``on_dead(spec, error)`` per
+    dead-lettered job.  Returns whether anything happened, so callers can
+    idle politely.
+
+    ``lock`` (when given) guards every queue access -- the daemon shares
+    its queue with connection threads; execution itself (``dispatch`` for
+    the inline pool, ``poll`` always) runs outside it.  ``landed`` is an
+    optional condition variable notified after events resolve, waking
+    result streamers.
+    """
+    guard = lock if lock is not None else _NULL_LOCK
+    progressed = False
+    while True:
+        with guard:
+            claim = queue.claim_next() if pool.idle_workers() > 0 else None
+            if claim is not None:
+                claims[claim.id] = claim
+        if claim is None:
+            break
+        pool.dispatch(claim)
+        progressed = True
+    if not claims:
+        return progressed
+    events = pool.poll(timeout)
+    if not events:
+        return progressed
+    with guard:
+        for event in events:
+            claim = claims.get(event.claim_id)
+            if claim is None:  # stale message from a finished claim
+                continue
+            progressed = True
+            if event.kind == "result":
+                queue.complete(claim, event.fingerprint, event.result)
+                if on_result is not None:
+                    on_result(claim.spec_of(event.fingerprint), event.result)
+            elif event.kind == "job_failed":
+                outcome = queue.fail(claim, event.fingerprint, event.error)
+                if outcome == "dead" and on_dead is not None:
+                    on_dead(claim.spec_of(event.fingerprint), event.error)
+            elif event.kind == "shard_done":
+                queue.finish_claim(claim)
+                del claims[event.claim_id]
+            elif event.kind == "worker_crashed":
+                requeued = queue.release_crashed(claim)
+                del claims[event.claim_id]
+                if on_dead is not None:
+                    for job in claim.unresolved():
+                        if job not in requeued and job.fingerprint in queue.dead:
+                            on_dead(
+                                job.spec,
+                                "worker crashed while executing this shard",
+                            )
+        if landed is not None:
+            landed.notify_all()
+    return progressed
+
+
+def drain(queue: ShardedJobQueue, pool, on_result=None, on_dead=None) -> dict:
+    """Pump until the queue is idle; returns ``queue.completed``."""
+    claims: dict[int, ShardClaim] = {}
+    while not queue.is_idle():
+        pump(queue, pool, claims, on_result=on_result, on_dead=on_dead)
+    return queue.completed

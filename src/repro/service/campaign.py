@@ -176,7 +176,9 @@ class Campaign:
 
     ``store_path`` opens (or creates) a
     :class:`~repro.service.store.ResultStore`; omit it for a purely
-    in-memory run.  ``reduction_reuse`` is forwarded to the scheduler.
+    in-memory run.  ``reduction_reuse``, ``workers``, and ``pool`` are
+    forwarded to the scheduler (``workers=N`` executes on N processes of
+    the :mod:`repro.serve` worker pool, bit-identical to 1).
     """
 
     def __init__(
@@ -184,12 +186,19 @@ class Campaign:
         specs,
         store_path: str | Path | None = None,
         reduction_reuse: str = "exact",
+        workers: int = 1,
+        pool: str | None = None,
     ) -> None:
         self.specs = list(specs)
         if not self.specs:
             raise ValueError("campaign has no jobs")
         self.store = ResultStore(store_path) if store_path is not None else None
-        self.scheduler = BatchScheduler(store=self.store, reduction_reuse=reduction_reuse)
+        self.scheduler = BatchScheduler(
+            store=self.store,
+            reduction_reuse=reduction_reuse,
+            workers=workers,
+            pool=pool,
+        )
 
     @classmethod
     def from_manifest(
@@ -197,11 +206,15 @@ class Campaign:
         manifest: dict,
         store_path: str | Path | None = None,
         reduction_reuse: str = "exact",
+        workers: int = 1,
+        pool: str | None = None,
     ) -> "Campaign":
         return cls(
             manifest_specs(manifest),
             store_path=store_path,
             reduction_reuse=reduction_reuse,
+            workers=workers,
+            pool=pool,
         )
 
     @classmethod
@@ -210,9 +223,15 @@ class Campaign:
         path: str | Path,
         store_path: str | Path | None = None,
         reduction_reuse: str = "exact",
+        workers: int = 1,
+        pool: str | None = None,
     ) -> "Campaign":
         return cls.from_manifest(
-            load_manifest(path), store_path=store_path, reduction_reuse=reduction_reuse
+            load_manifest(path),
+            store_path=store_path,
+            reduction_reuse=reduction_reuse,
+            workers=workers,
+            pool=pool,
         )
 
     def run(self, on_result=None) -> CampaignReport:

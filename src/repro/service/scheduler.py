@@ -17,10 +17,12 @@ amount of actual work:
 4. **shared plans** -- one :class:`~repro.qaoa.lightcone.PlanCache` serves
    every pipeline, so structurally identical graphs compile one lightcone
    plan across the whole batch;
-5. **cost-ordered execution** -- remaining jobs run cheapest-first by the
-   :func:`~repro.analysis.runtime.estimate_pipeline_cost` model (ties
-   broken by fingerprint), streaming early results without affecting any
-   of them.
+5. **cost-ordered pooled execution** -- remaining jobs run through the
+   :mod:`repro.serve` worker pool (the same path the ``red-qaoa serve``
+   daemon uses): fingerprint-sharded claims, cheapest-shard-first by the
+   :func:`~repro.analysis.runtime.estimate_pipeline_cost` model,
+   optionally on N worker processes -- streaming early results without
+   affecting any of them.
 
 Every form of sharing above is *result-neutral*: per-job results are a
 pure function of the job fingerprint, so batched execution, N sequential
@@ -42,12 +44,13 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
-from repro.analysis.runtime import estimate_pipeline_cost
 from repro.core.annealer import AnnealResult
 from repro.core.cache import ReductionCache
 from repro.core.reduction import ReductionResult
 from repro.qaoa.lightcone import PlanCache
-from repro.service.jobs import JobResult, JobSpec, run_job
+from repro.serve.queue import ShardedJobQueue
+from repro.serve.workers import drain, make_pool
+from repro.service.jobs import JobResult, JobSpec
 from repro.service.store import ResultStore
 from repro.utils.graphs import average_node_strength
 
@@ -147,6 +150,14 @@ class BatchScheduler:
     reduction_cache:
         The bank for cross-instance mode; created on demand.  Its
         reducer's ``and_ratio_threshold`` defines bank-hit acceptance.
+    workers / pool:
+        Execution runs through the :mod:`repro.serve` worker pool -- the
+        same path the daemon uses.  The default (one inline worker) keeps
+        everything in-process with the shared plan cache; ``workers=N``
+        with the ``"process"`` pool executes shards on N processes,
+        bit-identical by the purity contract (process workers keep
+        per-process plan caches, so ``plan_hits`` then only counts
+        parent-side compilations).
     """
 
     def __init__(
@@ -155,18 +166,24 @@ class BatchScheduler:
         plan_cache: PlanCache | None = None,
         reduction_reuse: str = "exact",
         reduction_cache: ReductionCache | None = None,
+        workers: int = 1,
+        pool: str | None = None,
     ) -> None:
         if reduction_reuse not in ("exact", "cross-instance"):
             raise ValueError(
                 f"reduction_reuse must be 'exact' or 'cross-instance', "
                 f"got {reduction_reuse!r}"
             )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.store = store
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.reduction_reuse = reduction_reuse
         if reduction_cache is None and reduction_reuse == "cross-instance":
             reduction_cache = ReductionCache()
         self.reduction_cache = reduction_cache
+        self.workers = workers
+        self.pool = pool
 
     def run(self, specs, on_result=None) -> BatchReport:
         """Execute ``specs``; per-job views stream in manifest order.
@@ -224,33 +241,36 @@ class BatchScheduler:
             reductions[instance_fp] = reduction
             reduction_reuses += len(by_instance[instance_fp]) - 1
 
-        # Phase 2: cheapest-first execution (results stream early); the
-        # order cannot affect any result, only when each one appears.
-        def cost(fingerprint: str) -> tuple:
-            spec = unique[fingerprint]
-            return (
-                estimate_pipeline_cost(
-                    spec.num_qubits,
-                    p=spec.p,
-                    restarts=spec.restarts,
-                    maxiter=spec.maxiter,
-                    finetune_maxiter=spec.finetune_maxiter,
-                ),
-                fingerprint,
-            )
+        # Phase 2: execution through the serve worker pool -- the same
+        # sharded-claim path the daemon runs.  Shards are claimed
+        # cheapest-first by estimate_pipeline_cost (results stream early);
+        # neither sharding nor worker count can affect any result, only
+        # when each one appears.  A failed job surfaces as an exception,
+        # as the pre-pool sequential loop surfaced it.
+        queue = ShardedJobQueue(
+            high_water=max(1, len(pending)),
+            max_attempts=1,
+            reductions=reductions,
+        )
+        for fingerprint in pending:
+            outcome = queue.submit(unique[fingerprint])
+            assert outcome.accepted  # high_water covers the whole batch
 
-        for fingerprint in sorted(pending, key=cost):
-            spec = unique[fingerprint]
-            result = run_job(
-                spec,
-                reduction=reductions[spec.instance_fingerprint],
-                plan_cache=self.plan_cache,
-            )
-            results[fingerprint] = result
+        def landed(spec, result):
+            results[result.fingerprint] = result
             if self.store is not None:
                 self.store.put(result)
             if on_result is not None:
                 on_result(spec, result)
+
+        def dead(spec, error):
+            raise RuntimeError(f"job {spec.label or spec.fingerprint} failed: {error}")
+
+        pool = make_pool(self.pool, self.workers, plan_cache=self.plan_cache)
+        try:
+            drain(queue, pool, on_result=landed, on_dead=dead)
+        finally:
+            pool.close()
 
         views = []
         first = {fp: positions[0] for fp, positions in occurrences.items()}

@@ -9,10 +9,24 @@ of a process killed mid-append -- is tolerated, so a store written by a
 killed campaign always resumes cleanly with every fully written result
 intact.
 
+Appends take an advisory ``flock`` on the store file (where the platform
+provides one), so two processes sharing one store file -- a daemon and a
+batch run, or two daemons -- serialize their appends instead of
+interleaving partial JSONL lines.  The lock covers exactly one
+write+fsync; readers never block.
+
 Later records win on duplicate fingerprints (the file is append-only, so
 "latest" is simply the last line), and all floats round-trip exactly
 through JSON's ``repr``-based encoding -- a resumed result compares
 bit-identical to the original computation.
+
+Besides results, the store holds **dead-letter** records
+(:meth:`ResultStore.park`): jobs that exhausted their retry budget in the
+serve layer, recorded with the error and attempt count so a poison-pill
+job is visible and auditable instead of wedging a queue.  A successful
+result for the same fingerprint always wins over a dead letter -- results
+are pure functions of the fingerprint, so once computed they are valid
+forever.
 """
 
 from __future__ import annotations
@@ -20,6 +34,11 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+
+try:  # advisory locking is POSIX-only; the store degrades gracefully
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.service.jobs import JobResult
 
@@ -52,6 +71,7 @@ class ResultStore:
         self.skipped_schema = 0
         self.corrupt_lines = 0
         self._index: dict[str, dict] = {}
+        self._dead: dict[str, dict] = {}
         self._load()
 
     # -- loading -------------------------------------------------------------
@@ -79,7 +99,16 @@ class ResultStore:
             if not fingerprint:
                 self.corrupt_lines += 1
                 continue
-            self._index[fingerprint] = record
+            if "dead_letter" in record:
+                self._dead[fingerprint] = record
+            else:
+                self._index[fingerprint] = record
+        # A computed result outranks any dead letter for the same job:
+        # results are pure functions of the fingerprint, so one success
+        # retires every recorded failure regardless of file order.
+        for fingerprint in list(self._dead):
+            if fingerprint in self._index:
+                del self._dead[fingerprint]
 
     # -- queries -------------------------------------------------------------
 
@@ -106,6 +135,13 @@ class ResultStore:
             source="store",
         )
 
+    def dead_letters(self) -> dict[str, dict]:
+        """Parked jobs: fingerprint -> ``{"error", "attempts", "instance"}``."""
+        return {
+            fingerprint: dict(record["dead_letter"])
+            for fingerprint, record in self._dead.items()
+        }
+
     # -- writes --------------------------------------------------------------
 
     def put(self, result: JobResult) -> None:
@@ -116,11 +152,40 @@ class ResultStore:
             "instance": result.instance_fingerprint,
             "payload": result.to_payload(),
         }
+        self._append(record)
+        self._index[result.fingerprint] = record
+        self._dead.pop(result.fingerprint, None)
+
+    def park(self, fingerprint: str, instance: str, error: str, attempts: int) -> None:
+        """Record a dead-lettered job: retries exhausted, queue moved on."""
+        record = {
+            "schema": STORE_SCHEMA,
+            "fingerprint": fingerprint,
+            "instance": instance,
+            "dead_letter": {
+                "error": str(error),
+                "attempts": int(attempts),
+                "instance": instance,
+            },
+        }
+        self._append(record)
+        if fingerprint not in self._index:
+            self._dead[fingerprint] = record
+
+    def _append(self, record: dict) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            if self.fsync:
-                os.fsync(handle.fileno())
-        self._index[result.fingerprint] = record
+            if fcntl is not None:
+                # Advisory exclusive lock for the single write+fsync below:
+                # concurrent writers sharing this file queue up instead of
+                # interleaving partial lines.  Released with the handle.
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                handle.write(line + "\n")
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)

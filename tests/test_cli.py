@@ -150,6 +150,61 @@ class TestBatch:
         with pytest.raises(SystemExit, match="campaign|jobs"):
             main(["batch", str(path)])
 
+    def test_workers_flag_is_result_neutral(self, capsys):
+        args = [
+            "batch", "--suite", "maxcut", "--count", "3", "-n", "8",
+            "--restarts", "1", "--maxiter", "8", "--json",
+        ]
+        assert main(args) == 0
+        solo = json.loads(capsys.readouterr().out)
+        assert main(args + ["--workers", "2"]) == 0
+        pooled = json.loads(capsys.readouterr().out)
+        solo.pop("seconds"), pooled.pop("seconds")
+        for job in solo["per_job"] + pooled["per_job"]:
+            job.pop("source", None)  # timing-dependent labels only
+        assert solo == pooled
+
+
+class TestServeSubmit:
+    def test_serve_submit_round_trip(self, tmp_path, capsys):
+        import threading
+
+        from repro.serve import ServeClient, wait_for_socket
+
+        sock = str(tmp_path / "serve.sock")
+        store = str(tmp_path / "store.jsonl")
+        server = threading.Thread(
+            target=main,
+            args=(["serve", "--socket", sock, "--store", store],),
+            daemon=True,
+        )
+        server.start()
+        wait_for_socket(sock)
+        submit = [
+            "submit", "--socket", sock, "--suite", "maxcut",
+            "--count", "2", "-n", "8", "--restarts", "1", "--maxiter", "6",
+        ]
+        code = main(submit + ["--json"])
+        out = capsys.readouterr().out  # the serve banner precedes the JSON
+        payload = json.loads(out[out.index("{"):])
+        assert code == 0
+        assert payload["done"] and payload["counts"] == {"done": 2}
+        # second submission: everything cached, text output says so
+        assert main(submit) == 0
+        out = capsys.readouterr().out
+        assert "2 already cached" in out
+        assert "2 done, 0 dead" in out
+        ServeClient(sock).shutdown()
+        server.join(timeout=30)
+        assert not server.is_alive()
+
+    def test_submit_refuses_dead_socket(self, tmp_path):
+        with pytest.raises(SystemExit, match="submit failed"):
+            main([
+                "submit", "--socket", str(tmp_path / "nope.sock"),
+                "--suite", "maxcut", "--count", "1",
+            ])
+
 
 class TestWeightedFlags:
     def test_mse_noisy_weighted(self, capsys):

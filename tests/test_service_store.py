@@ -119,6 +119,83 @@ class TestDurabilityAndTolerance:
         assert sorted(store.fingerprints()) == ["fp-a", "fp-b"]
 
 
+class TestDeadLetters:
+    def test_park_round_trips_across_processes(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.park("fp-bad", "inst-bad", "EngineLimitError: too big", attempts=3)
+        assert store.dead_letters() == {
+            "fp-bad": {
+                "error": "EngineLimitError: too big",
+                "attempts": 3,
+                "instance": "inst-bad",
+            }
+        }
+        reloaded = ResultStore(path)
+        assert reloaded.dead_letters() == store.dead_letters()
+        assert "fp-bad" not in reloaded  # a dead letter is not a result
+        assert len(reloaded) == 0
+
+    def test_result_retires_dead_letter_in_any_order(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        # park then succeed: the success wins live and on reload
+        store.park("fp-a", "inst-a", "flaky", attempts=2)
+        store.put(_result("a"))
+        assert store.dead_letters() == {}
+        assert "fp-a" in store
+        reloaded = ResultStore(path)
+        assert reloaded.dead_letters() == {}
+        assert reloaded.get("fp-a") is not None
+        # succeed then park (a later failed retry): the result still wins
+        store.park("fp-a", "inst-a", "flaky again", attempts=3)
+        assert store.dead_letters() == {}
+        assert ResultStore(path).dead_letters() == {}
+
+    def test_truncated_dead_letter_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.put(_result("a"))
+        store.park("fp-bad", "inst-bad", "boom", attempts=3)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 10])  # kill mid-append
+        survivor = ResultStore(path)
+        assert survivor.corrupt_lines == 1
+        assert "fp-a" in survivor
+        assert survivor.dead_letters() == {}
+
+
+class TestConcurrentAppend:
+    def test_flock_serializes_multi_process_appends(self, tmp_path):
+        """N processes hammering one store leave only whole JSONL lines."""
+        import multiprocessing
+
+        path = tmp_path / "store.jsonl"
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_append_many, args=(str(path), worker, 25))
+            for worker in range(4)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        merged = ResultStore(path)
+        assert merged.corrupt_lines == 0
+        assert merged.skipped_schema == 0
+        assert len(merged) == 4 * 25
+        for worker in range(4):
+            found = merged.get(f"fp-w{worker}-0")
+            assert found is not None and found.best_value == float(worker)
+
+
+def _append_many(path: str, worker: int, count: int) -> None:
+    store = ResultStore(path, fsync=False)
+    for index in range(count):
+        store.put(_result(f"w{worker}-{index}", best=float(worker)))
+
+
 @pytest.mark.parametrize("fsync", [True, False])
 def test_fsync_flag_smoke(tmp_path, fsync):
     store = ResultStore(tmp_path / "store.jsonl", fsync=fsync)
