@@ -141,15 +141,27 @@ def _experiment():
         == oracle_keys
         for run in runs
     )
+    cpu_count = os.cpu_count() or 1
     for run in runs:
         del run["results"]  # measured, compared, not worth persisting
+        # More workers than cores measures contention, not scaling; flag
+        # the row so nobody reads an oversubscribed number as a speedup.
+        run["oversubscribed"] = run["workers"] > cpu_count
+    honest = [run for run in runs if not run["oversubscribed"]]
     return {
         "jobs": NUM_JOBS,
         "nodes": NODES,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "sequential_seconds": sequential_seconds,
         "daemon": runs,
-        "speedup_4_vs_1": runs[0]["seconds"] / runs[-1]["seconds"],
+        # Only meaningful when the 4-worker row ran with real parallelism;
+        # oversubscribed rows are excluded rather than reported as a
+        # (dishonest) sub-1x "speedup".
+        "speedup_4_vs_1": (
+            runs[0]["seconds"] / honest[-1]["seconds"]
+            if len(honest) > 1 and honest[-1]["workers"] == WORKER_COUNTS[-1]
+            else None
+        ),
         "bit_identical_all_worker_counts_vs_sequential": identical,
     }
 
@@ -171,12 +183,17 @@ def test_bench_pr6_emit(benchmark):
     row("sequential oracle", seconds=results["sequential_seconds"])
     for run in results["daemon"]:
         row(
-            f"daemon {run['workers']} worker(s)",
+            f"daemon {run['workers']} worker(s)"
+            + (" [oversubscribed]" if run["oversubscribed"] else ""),
             seconds=run["seconds"],
             jobs_per_sec=run["jobs_per_sec"],
             first_result=run["first_result_seconds"],
         )
-    row("4w vs 1w", speedup=results["speedup_4_vs_1"])
+    if results["speedup_4_vs_1"] is not None:
+        row("4w vs 1w", speedup=results["speedup_4_vs_1"])
+    else:
+        print(f"  note: speedup_4_vs_1 omitted -- "
+              f"{results['cpu_count']} CPU(s) oversubscribe 4 workers")
 
     # Correctness is unconditional: worker count may change only timing.
     assert results["bit_identical_all_worker_counts_vs_sequential"]

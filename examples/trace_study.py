@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Observability study: tracing and metrics across the serving stack.
+
+Walks the ``repro.obs`` side channel end to end, in one process:
+
+1. start a traced :class:`ServeDaemon` (``trace_path=``) with structured
+   JSON logs and run a small campaign through it;
+2. scrape the daemon's ``metrics`` protocol verb mid-flight -- the same
+   snapshot a Prometheus scraper would pull;
+3. shut down, then read the trace back: validate that every submitted
+   job produced exactly one closed span tree, print the per-stage
+   breakdown, and show where the wall-clock actually went;
+4. prove the purity contract: rerun the same manifest untraced and
+   assert the results are bit-identical.
+
+Usage::
+
+    python examples/trace_study.py [--nodes 10] [--count 8] [--workers 2]
+"""
+
+import argparse
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.datasets import suite_manifest
+from repro.obs.log import EventLog
+from repro.obs.trace import (
+    format_summary,
+    load_trace,
+    span_trees,
+    summarize_trace,
+    validate_trace,
+)
+from repro.serve import ServeClient, ServeDaemon, wait_for_socket
+
+
+def run_manifest(tmp: Path, manifest: dict, trace_path: Path | None, workers: int = 2) -> dict:
+    """One daemon lifetime: submit, wait, shut down; returns results by fp."""
+    socket_path = tmp / "serve.sock"
+    daemon = ServeDaemon(
+        socket_path=socket_path,
+        store_path=tmp / "results.jsonl",
+        workers=workers,
+        pool="process",
+        trace_path=trace_path,
+        log=EventLog(level="info", json_mode=True, stream=sys.stderr)
+        if trace_path
+        else None,
+    )
+    thread = threading.Thread(
+        target=daemon.serve_forever,
+        kwargs={"install_signal_handlers": False},
+        daemon=True,
+    )
+    thread.start()
+    wait_for_socket(socket_path)
+    client = ServeClient(socket_path)
+
+    ticket = client.submit(manifest)["ticket"]
+    final = client.wait(ticket, timeout=600)
+
+    if trace_path is not None:
+        print("\n=== live metrics scrape (the `metrics` protocol verb) ===")
+        scrape = client.metrics()
+        counters = scrape["metrics"]["counters"]
+        for name in sorted(counters):
+            if counters[name]:
+                print(f"  {name} = {counters[name]:g}")
+
+    client.shutdown()
+    thread.join(timeout=60)
+    return {job["fingerprint"]: job["result"] for job in final["jobs"]}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=10)
+    parser.add_argument("--count", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    manifest = suite_manifest(
+        "maxcut",
+        count=args.count,
+        num_qubits=args.nodes,
+        seed=args.seed,
+        restarts=2,
+        maxiter=20,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        trace_path = tmp / "trace.jsonl"
+
+        print(f"=== traced campaign: {args.count} jobs, {args.workers} workers ===")
+        (tmp / "a").mkdir()
+        traced = run_manifest(tmp / "a", manifest, trace_path, workers=args.workers)
+
+        print("\n=== span-tree validation ===")
+        spans, metrics = load_trace(trace_path)
+        problems = validate_trace(spans)
+        trees = span_trees(spans)
+        print(f"jobs traced: {len(trees)}  spans: {len(spans)}  "
+              f"problems: {len(problems)}")
+        assert not problems, problems
+        assert len(trees) == args.count, "one tree per submitted job"
+
+        print("\n=== per-stage breakdown ===")
+        print(format_summary(summarize_trace(trace_path)), end="")
+
+        print("=== purity: rerun untraced, compare byte-for-byte ===")
+        (tmp / "b").mkdir()
+        untraced = run_manifest(tmp / "b", manifest, None, workers=args.workers)
+        assert traced == untraced, "tracing changed a result!"
+        print("bit-identical: True")
+
+
+if __name__ == "__main__":
+    main()

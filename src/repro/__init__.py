@@ -45,6 +45,11 @@ Subpackages
     backpressure and dead letters, a deterministic worker pool (N workers
     bit-identical to 1), and a unix-socket submit/poll/stream protocol
     (``red-qaoa serve`` / ``red-qaoa submit``).
+``repro.obs``
+    Observability: span tracing (``--trace`` / ``red-qaoa trace
+    summarize``), the mergeable metrics registry with Prometheus
+    exposition (``red-qaoa status``), and structured daemon logs -- a
+    pure side channel, bit-identical results on or off.
 """
 
 from repro.core import GraphReducer, RedQAOA, ReductionResult, simulated_annealing
@@ -99,4 +104,4 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"

@@ -41,6 +41,16 @@ pool in-process, without a daemon.
 ``solve``/``sweep``/``batch`` accept ``--json`` for machine-readable
 output, and ``red-qaoa --version`` reports the package version -- the
 hooks batch tooling builds on.
+
+Observability (:mod:`repro.obs`) rides along everywhere: ``--trace FILE``
+on ``solve``/``sweep``/``batch``/``serve`` appends per-stage span trees
+(plus a final metrics snapshot) to a JSONL trace file, ``red-qaoa trace
+summarize FILE`` breaks a trace down per stage with coverage, critical
+path, and cache hit rates, ``red-qaoa status --socket S`` asks a running
+daemon for its queue/worker/metrics state (``--prometheus`` prints the
+scrapable text format), and ``serve --log-level/--log-json`` streams
+structured daemon events to stderr.  All of it is a pure side channel:
+traced runs are bit-identical to untraced ones.
 """
 
 from __future__ import annotations
@@ -48,10 +58,33 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from contextlib import contextmanager
 
 import numpy as np
 
 __all__ = ["main"]
+
+
+@contextmanager
+def _tracing(path):
+    """Enable span tracing to ``path`` for the block (no-op when None).
+
+    On exit the process-wide metrics snapshot is appended to the trace so
+    ``red-qaoa trace summarize`` can render its cache table, and the
+    global tracer is uninstalled.
+    """
+    if path is None:
+        yield None
+        return
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.trace import configure_tracing, disable_tracing
+
+    tracer = configure_tracing(path)
+    try:
+        yield tracer
+    finally:
+        tracer.write_metrics(REGISTRY.snapshot())
+        disable_tracing()
 
 
 def _add_weight_options(command: argparse.ArgumentParser) -> None:
@@ -139,6 +172,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--json", action="store_true",
                        help="emit one JSON object instead of text")
+    sweep.add_argument("--trace", default=None, metavar="FILE",
+                       help="append span traces (JSONL) to FILE; results are "
+                            "bit-identical with or without")
     _add_weight_options(sweep)
 
     solve = sub.add_parser(
@@ -171,6 +207,9 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--json", action="store_true",
                        help="emit one JSON object instead of text")
+    solve.add_argument("--trace", default=None, metavar="FILE",
+                       help="append span traces (JSONL) to FILE; results are "
+                            "bit-identical with or without")
     _add_weight_options(solve)
 
     from repro.datasets.problems import PROBLEM_KINDS
@@ -220,6 +259,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "--workers 1, process otherwise)")
     batch.add_argument("--json", action="store_true",
                        help="emit the full JSON report instead of text")
+    batch.add_argument("--trace", default=None, metavar="FILE",
+                       help="append span traces (JSONL) to FILE; results are "
+                            "bit-identical with or without")
 
     serve = sub.add_parser(
         "serve",
@@ -240,6 +282,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shard-prefix", type=int, default=1,
                        help="fingerprint hex-prefix length defining the shards "
                             "(1 = 16 shards)")
+    serve.add_argument("--trace", default=None, metavar="FILE",
+                       help="append one span tree per completed job (JSONL) to "
+                            "FILE; a pure side channel")
+    serve.add_argument("--log-level", default="warning",
+                       choices=("debug", "info", "warning", "error"),
+                       help="stderr event-log threshold (default: warning)")
+    serve.add_argument("--log-json", action="store_true",
+                       help="emit log events as NDJSON instead of text lines")
 
     submit = sub.add_parser(
         "submit",
@@ -278,6 +328,31 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="give up waiting after this many seconds")
     submit.add_argument("--json", action="store_true",
                         help="emit the final poll reply as JSON")
+
+    status = sub.add_parser(
+        "status",
+        help="query a running serve daemon: queue, workers, metrics",
+    )
+    status.add_argument("--socket", required=True,
+                        help="unix socket path of the daemon")
+    status.add_argument("--prometheus", action="store_true",
+                        help="print the daemon's metrics in Prometheus text "
+                             "format instead of a status summary")
+    status.add_argument("--json", action="store_true",
+                        help="emit the raw status reply as JSON")
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect JSONL trace files written by --trace",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-stage breakdown, coverage, critical path, cache table",
+    )
+    summarize.add_argument("tracefile", help="JSONL trace file to summarize")
+    summarize.add_argument("--json", action="store_true",
+                           help="emit the summary as JSON")
     return parser
 
 
@@ -406,12 +481,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     flavor = f" ({args.weight_dist}-weighted)" if args.weighted else ""
     gammas, betas = sample_parameter_sets(args.p, args.num_points, seed=args.seed)
 
-    start = time.perf_counter()
-    plan = LightconePlan.build(graph, args.p, max_qubits=args.max_qubits)
-    build_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    values = plan.evaluate_batch(gammas, betas)
-    eval_seconds = time.perf_counter() - start
+    from repro.obs.trace import span, trace_job
+
+    with _tracing(args.trace):
+        with trace_job(f"sweep:n{args.nodes}-p{args.p}", command="sweep"):
+            start = time.perf_counter()
+            plan = LightconePlan.build(graph, args.p, max_qubits=args.max_qubits)
+            build_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            with span("evaluate", points=args.num_points):
+                values = plan.evaluate_batch(gammas, betas)
+            eval_seconds = time.perf_counter() - start
 
     stats = plan.stats
     if args.json:
@@ -501,12 +581,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     # EngineLimitError: no exact engine for this size; plain ValueError:
     # degenerate instances (e.g. a QUBO with no couplings or fields) or
     # bad pipeline settings -- all user-input problems, not bugs.
+    from repro.obs.trace import trace_job
+
     try:
         pipeline = RedQAOA(
             p=args.p, restarts=args.restarts, maxiter=args.maxiter,
             finetune_maxiter=args.finetune_maxiter, shots=args.shots, seed=args.seed,
         )
-        result = pipeline.run(problem=problem)
+        with _tracing(args.trace):
+            with trace_job(f"solve:{problem.name}", command="solve"):
+                result = pipeline.run(problem=problem)
     except ValueError as exc:  # EngineLimitError subclasses ValueError
         raise SystemExit(f"error: {exc}")
     elapsed = time.perf_counter() - start
@@ -633,7 +717,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise SystemExit(f"error building the campaign: {exc}")
-    report = campaign.run(on_result=progress)
+    with _tracing(args.trace):
+        report = campaign.run(on_result=progress)
     if args.report is not None:
         report.write(args.report)
     payload = report.to_dict()
@@ -662,6 +747,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.log import EventLog
     from repro.serve import ServeDaemon
 
     if args.workers < 1:
@@ -673,10 +759,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard_prefix=args.shard_prefix,
         high_water=args.high_water,
         max_attempts=args.max_attempts,
+        trace_path=args.trace,
+        log=EventLog(level=args.log_level, json_mode=args.log_json),
     )
     store_note = f", store {args.store}" if args.store else ""
-    print(f"serving on {args.socket} with {args.workers} worker(s){store_note}; "
-          f"SIGTERM drains and exits", flush=True)
+    trace_note = f", trace {args.trace}" if args.trace else ""
+    print(f"serving on {args.socket} with {args.workers} worker(s)"
+          f"{store_note}{trace_note}; SIGTERM drains and exits", flush=True)
     daemon.serve_forever()
     print("daemon stopped")
     return 0
@@ -729,6 +818,63 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if not dead else 1
 
 
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.socket)
+    try:
+        if args.prometheus:
+            print(client.metrics()["prometheus"], end="")
+            return 0
+        reply = client.status()
+    except (ServeError, OSError) as exc:
+        raise SystemExit(f"status failed: {exc}")
+    if args.json:
+        print(json.dumps(reply, indent=2))
+        return 0
+    queue = reply.get("queue", {})
+    workers = reply.get("workers", {})
+    print(f"daemon v{reply.get('version')} (protocol {reply.get('protocol')}), "
+          f"uptime {reply.get('uptime', 0.0):.1f}s"
+          f"{', draining' if reply.get('draining') else ''}")
+    print(f"queue: depth={queue.get('depth')} running={queue.get('running')} "
+          f"completed={queue.get('completed')} dead={queue.get('dead')} "
+          f"rejected={queue.get('rejected')} crashes={queue.get('crashes')}")
+    print(f"workers: {workers.get('count')} "
+          f"(pids {workers.get('pids')}, respawns {workers.get('respawns')})")
+    store = reply.get("store")
+    if store:
+        print(f"store: {store['results']} results, "
+              f"{store['dead_letters']} dead letters ({store['path']})")
+    counters = reply.get("metrics", {}).get("counters", {})
+    if counters:
+        shown = {
+            name.removeprefix("redqaoa_"): int(value)
+            for name, value in sorted(counters.items())
+            if value
+        }
+        print("counters: " + ", ".join(f"{k}={v}" for k, v in shown.items()))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.trace import format_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.tracefile)
+    except OSError as exc:
+        raise SystemExit(f"error reading trace {args.tracefile!r}: {exc}")
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(format_summary(summary), end="")
+    return 0 if not summary["problems"] else 1
+
+
 _COMMANDS = {
     "mse-noisy": _cmd_mse_noisy,
     "mse-ideal": _cmd_mse_ideal,
@@ -738,6 +884,8 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "status": _cmd_status,
+    "trace": _cmd_trace,
 }
 
 

@@ -32,6 +32,7 @@ regardless of summation order.
 from __future__ import annotations
 
 import math
+import time
 from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 
@@ -40,6 +41,13 @@ import numpy as np
 
 from repro.core.cooling import AdaptiveCooling, ConstantCooling, CoolingSchedule
 from repro.core.objective import and_difference_objective
+from repro.obs.metrics import REGISTRY
+
+_SA_RUNS = REGISTRY.counter("redqaoa_sa_runs_total", "simulated-annealing runs")
+_SA_STEPS = REGISTRY.counter("redqaoa_sa_steps_total", "simulated-annealing steps")
+_SA_SECONDS = REGISTRY.counter(
+    "redqaoa_sa_seconds_total", "seconds spent inside the annealing loop"
+)
 from repro.utils.graphs import (
     average_node_strength,
     connected_random_subgraph,
@@ -141,6 +149,7 @@ def _anneal(graph, k, initial_temperature, final_temperature, cooling, seed, max
     schedule.reset()
     rng = as_generator(seed)
     target_and = average_node_strength(graph)
+    t0 = time.perf_counter()
 
     start = connected_random_subgraph(graph, k, rng)
     state = state_factory(graph, start, target_and)
@@ -172,6 +181,9 @@ def _anneal(graph, k, initial_temperature, final_temperature, cooling, seed, max
         if best_obj == 0.0:
             break  # exact AND match cannot be improved further
 
+    _SA_RUNS.inc()
+    _SA_STEPS.inc(steps)
+    _SA_SECONDS.inc(time.perf_counter() - t0)
     return AnnealResult(
         nodes=best,
         subgraph=nx.Graph(graph.subgraph(best)),

@@ -32,9 +32,19 @@ from dataclasses import dataclass
 import networkx as nx
 
 from repro.core.reduction import GraphReducer, ReductionResult
+from repro.obs.metrics import REGISTRY
 from repro.utils.graphs import average_node_strength, ensure_graph, is_weighted
 
 __all__ = ["CachedReduction", "ReductionCache"]
+
+_BANK_HITS = REGISTRY.counter(
+    "redqaoa_reduction_cache_hits_total",
+    "reduction-bank lookups served by a banked distilled graph",
+)
+_BANK_MISSES = REGISTRY.counter(
+    "redqaoa_reduction_cache_misses_total",
+    "reduction-bank lookups that found no acceptable entry",
+)
 
 
 @dataclass(frozen=True)
@@ -158,6 +168,9 @@ class ReductionCache:
                 best, best_id, best_gap = entry, entry_id, gap
         if best is not None:
             self._by_id[best_id] = self._by_id.pop(best_id)  # LRU touch
+            _BANK_HITS.inc()
+        else:
+            _BANK_MISSES.inc()
         return best
 
     def reduce(self, graph: nx.Graph) -> tuple[nx.Graph, bool]:

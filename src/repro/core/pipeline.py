@@ -34,6 +34,7 @@ import networkx as nx
 import numpy as np
 
 from repro.core.reduction import GraphReducer, ProblemReductionResult, ReductionResult
+from repro.obs.trace import span
 from repro.qaoa.expectation import maxcut_evaluator, noisy_maxcut_expectation
 from repro.qaoa.fast_sim import FastNoiseSpec, noisy_qaoa_probabilities, qaoa_probabilities
 from repro.qaoa.hamiltonian import MaxCutHamiltonian
@@ -240,15 +241,18 @@ class RedQAOA:
             return self._run_problem(problem, reduction=reduction)
         ensure_graph(graph)
         if reduction is None:
-            reduction = self.reduce(graph)
-        traces = self.optimize_reduced(reduction)
+            with span("reduce"):
+                reduction = self.reduce(graph)
+        with span("optimize"):
+            traces = self.optimize_reduced(reduction)
         best_trace = max(traces, key=lambda t: t.best_value)
         gammas, betas = best_trace.best_parameters
 
         relabeled = relabel_to_range(graph)
         evaluate_ideal = maxcut_evaluator(relabeled, self.p, plan_cache=self.plan_cache)
         expectation = evaluate_ideal(gammas, betas)
-        finetune_trace = self.finetune(relabeled, gammas, betas)
+        with span("finetune"):
+            finetune_trace = self.finetune(relabeled, gammas, betas)
         if finetune_trace is not None and finetune_trace.num_evaluations:
             # Keep the transferred parameters if fine-tuning failed to help
             # under its (possibly noisy) objective.
@@ -258,7 +262,8 @@ class RedQAOA:
                 gammas, betas = ft_gammas, ft_betas
                 expectation = ft_expectation
 
-        cut_value, assignment = self._solve(graph, relabeled, gammas, betas)
+        with span("readout"):
+            cut_value, assignment = self._solve(graph, relabeled, gammas, betas)
         return RedQAOAResult(
             reduction=reduction,
             gammas=np.asarray(gammas, dtype=float),
@@ -291,28 +296,31 @@ class RedQAOA:
         # path it compiles the plan once for every later evaluation.
         evaluate_full = problem_evaluator(problem, self.p, plan_cache=self.plan_cache)
         if reduction is None:
-            reduction = self.reducer.reduce_problem(problem)
+            with span("reduce"):
+                reduction = self.reducer.reduce_problem(problem)
         sub = reduction.subproblem
         evaluate_sub = problem_evaluator(sub, self.p, plan_cache=self.plan_cache)
 
-        traces = self._optimize_traces(
-            evaluate_sub,
-            warm_start_graph=sub.coupling_graph() if sub.num_couplings else None,
-        )
+        with span("optimize"):
+            traces = self._optimize_traces(
+                evaluate_sub,
+                warm_start_graph=sub.coupling_graph() if sub.num_couplings else None,
+            )
         best_trace = max(traces, key=lambda t: t.best_value)
         gammas, betas = best_trace.best_parameters
 
         expectation = evaluate_full(gammas, betas)
         finetune_trace = None
         if self.finetune_maxiter > 0:
-            finetune_trace = cobyla_optimize(
-                evaluate_full,
-                self.p,
-                initial=np.concatenate([gammas, betas]),
-                maxiter=self.finetune_maxiter,
-                rhobeg=0.1,
-                seed=self._rng,
-            )
+            with span("finetune"):
+                finetune_trace = cobyla_optimize(
+                    evaluate_full,
+                    self.p,
+                    initial=np.concatenate([gammas, betas]),
+                    maxiter=self.finetune_maxiter,
+                    rhobeg=0.1,
+                    seed=self._rng,
+                )
             if finetune_trace.num_evaluations:
                 ft_gammas, ft_betas = finetune_trace.best_parameters
                 ft_expectation = evaluate_full(ft_gammas, ft_betas)
@@ -320,7 +328,8 @@ class RedQAOA:
                     gammas, betas = ft_gammas, ft_betas
                     expectation = ft_expectation
 
-        cut_value, assignment = self._solve_problem(problem, gammas, betas)
+        with span("readout"):
+            cut_value, assignment = self._solve_problem(problem, gammas, betas)
         return RedQAOAResult(
             reduction=reduction,
             gammas=np.asarray(gammas, dtype=float),

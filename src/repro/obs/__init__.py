@@ -1,0 +1,67 @@
+"""repro.obs -- observability: span tracing, metrics, structured logging.
+
+The instrument panel for the whole stack.  Three pieces:
+
+- :mod:`repro.obs.trace` -- nested span tracing on ``perf_counter_ns``
+  into append-only JSONL, with worker spans shipped over result pipes and
+  stitched into one complete tree per job;
+- :mod:`repro.obs.metrics` -- a process-local registry of
+  counters/gauges/histograms with mergeable snapshots and Prometheus
+  text exposition;
+- :mod:`repro.obs.log` -- leveled NDJSON event logging for daemon
+  incidents (crashes, requeues, dead letters).
+
+Everything here is a pure side channel: enabling any of it changes no
+fingerprint, seed, or result bit.
+"""
+
+from repro.obs.log import EventLog, NullLog
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    snapshot_delta,
+)
+from repro.obs.trace import (
+    Tracer,
+    configure_tracing,
+    disable_tracing,
+    format_summary,
+    get_tracer,
+    install_tracer,
+    load_trace,
+    span,
+    span_trees,
+    summarize_trace,
+    trace_job,
+    using_tracer,
+    validate_trace,
+)
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullLog",
+    "REGISTRY",
+    "Tracer",
+    "configure_tracing",
+    "disable_tracing",
+    "format_summary",
+    "get_registry",
+    "get_tracer",
+    "install_tracer",
+    "load_trace",
+    "snapshot_delta",
+    "span",
+    "span_trees",
+    "summarize_trace",
+    "trace_job",
+    "using_tracer",
+    "validate_trace",
+]

@@ -1,0 +1,80 @@
+"""Structured NDJSON event logging for the serve daemon.
+
+Daemon incidents -- worker crashes, shard requeues, dead letters -- were
+previously invisible without a debugger.  :class:`EventLog` writes one
+JSON object per line to stderr (or any stream): machine-parseable, cheap,
+and ordered.  ``red-qaoa serve --log-json --log-level debug`` turns it
+on; the default is a quiet human-readable one-liner per event at
+``warning`` and above, so a healthy daemon stays silent.
+
+This is deliberately not the stdlib ``logging`` module: the daemon needs
+exactly one sink, one format, and zero global configuration leakage into
+library users' own logging setups.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+__all__ = ["LEVELS", "EventLog", "NullLog"]
+
+LEVELS = ("debug", "info", "warning", "error")
+_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+class EventLog:
+    """Leveled event sink: NDJSON or plain text, one line per event."""
+
+    def __init__(self, level: str = "warning", json_mode: bool = False, stream=None) -> None:
+        if level not in _RANK:
+            raise ValueError(f"unknown log level {level!r} (choose from {LEVELS})")
+        self.level = level
+        self.json_mode = json_mode
+        self.stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+        self._t0 = time.monotonic()
+
+    def enabled(self, level: str) -> bool:
+        return _RANK[level] >= _RANK[self.level]
+
+    def event(self, level: str, event: str, **fields) -> None:
+        """Record one event; dropped silently when below the threshold."""
+        if not self.enabled(level):
+            return
+        uptime = round(time.monotonic() - self._t0, 3)
+        if self.json_mode:
+            record = {"level": level, "event": event, "uptime": uptime, **fields}
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        else:
+            detail = " ".join(f"{key}={value}" for key, value in sorted(fields.items()))
+            line = f"[{uptime:9.3f}] {level:<7} {event}" + (f" {detail}" if detail else "")
+        with self._lock:
+            print(line, file=self.stream, flush=True)
+
+    def debug(self, event: str, **fields) -> None:
+        self.event("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.event("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.event("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.event("error", event, **fields)
+
+
+class NullLog(EventLog):
+    """An EventLog that drops everything; the default for library callers."""
+
+    def __init__(self) -> None:
+        super().__init__(level="error", json_mode=False, stream=None)
+
+    def enabled(self, level: str) -> bool:
+        return False
+
+    def event(self, level: str, event: str, **fields) -> None:
+        return

@@ -42,6 +42,7 @@ Both kernels agree with the retained per-call reference
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -49,9 +50,36 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
 from repro.qaoa.fast_sim import qaoa_expectation_batch, qaoa_probabilities
 from repro.qaoa.hamiltonian import MaxCutHamiltonian
 from repro.utils.graphs import ensure_graph
+
+# Module-level metric handles: registration happens once at import, hot
+# paths below pay one attribute access + one float add per event.
+_PLAN_HITS = REGISTRY.counter(
+    "redqaoa_plan_cache_hits_total", "compiled lightcone plans served from the cache"
+)
+_PLAN_MISSES = REGISTRY.counter(
+    "redqaoa_plan_cache_misses_total", "plan-cache lookups that had to compile"
+)
+_PLAN_BUILDS = REGISTRY.counter(
+    "redqaoa_plan_builds_total", "lightcone plans compiled"
+)
+_PLAN_BUILD_SECONDS = REGISTRY.counter(
+    "redqaoa_plan_build_seconds_total", "seconds spent compiling lightcone plans"
+)
+_LC_POINTS = REGISTRY.counter(
+    "redqaoa_lightcone_points_total", "parameter points priced through compiled plans"
+)
+_LC_EVALS = REGISTRY.counter(
+    "redqaoa_lightcone_evaluations_total",
+    "class-kernel evaluations (signature classes x parameter points)",
+)
+_LC_SECONDS = REGISTRY.counter(
+    "redqaoa_lightcone_seconds_total", "seconds spent in plan evaluation"
+)
 
 
 def _popcount(values: np.ndarray) -> np.ndarray:
@@ -198,26 +226,30 @@ class LightconePlan:
         ensure_graph(graph)
         if p < 1:
             raise ValueError(f"p must be >= 1, got {p}")
-        representatives: dict[object, list] = {}
-        num_edges = 0
-        for edge in graph.edges():
-            nodes = edge_lightcone(graph, edge, p)
-            if len(nodes) > max_qubits:
-                raise LightconeTooLargeError(
-                    f"edge {edge} has a distance-{p} lightcone of {len(nodes)} nodes "
-                    f"(> {max_qubits}); the graph is too dense for lightcone evaluation"
-                )
-            key = _signature(graph, edge, nodes)
-            entry = representatives.get(key)
-            if entry is None:
-                representatives[key] = [edge, nodes, 1]
-            else:
-                entry[2] += 1
-            num_edges += 1
-        classes = [
-            _compile_class(graph, edge, nodes, p, count)
-            for edge, nodes, count in representatives.values()
-        ]
+        t0 = time.perf_counter()
+        with span("plan_build", n=graph.number_of_nodes(), p=p):
+            representatives: dict[object, list] = {}
+            num_edges = 0
+            for edge in graph.edges():
+                nodes = edge_lightcone(graph, edge, p)
+                if len(nodes) > max_qubits:
+                    raise LightconeTooLargeError(
+                        f"edge {edge} has a distance-{p} lightcone of {len(nodes)} nodes "
+                        f"(> {max_qubits}); the graph is too dense for lightcone evaluation"
+                    )
+                key = _signature(graph, edge, nodes)
+                entry = representatives.get(key)
+                if entry is None:
+                    representatives[key] = [edge, nodes, 1]
+                else:
+                    entry[2] += 1
+                num_edges += 1
+            classes = [
+                _compile_class(graph, edge, nodes, p, count)
+                for edge, nodes, count in representatives.values()
+            ]
+        _PLAN_BUILDS.inc()
+        _PLAN_BUILD_SECONDS.inc(time.perf_counter() - t0)
         return cls(p=p, max_qubits=max_qubits, num_edges=num_edges, classes=classes)
 
     @classmethod
@@ -272,9 +304,13 @@ class LightconePlan:
             raise ValueError(f"shape mismatch: {gammas.shape} vs {betas.shape}")
         if gammas.shape[1] != self.p:
             raise ValueError(f"plan was built for p={self.p}, got p={gammas.shape[1]}")
+        t0 = time.perf_counter()
         out = np.zeros(gammas.shape[0])
         for compiled in self.classes:
             out += compiled.count * compiled.evaluate(gammas, betas)
+        _LC_SECONDS.inc(time.perf_counter() - t0)
+        _LC_POINTS.inc(gammas.shape[0])
+        _LC_EVALS.inc(gammas.shape[0] * len(self.classes))
         return out
 
 
@@ -508,9 +544,11 @@ class PlanCache:
         plan = self._plans.pop(key, None)
         if plan is not None:
             self.hits += 1
+            _PLAN_HITS.inc()
             self._plans[key] = plan  # re-insert as most recently used
             return plan
         self.misses += 1
+        _PLAN_MISSES.inc()
         plan = LightconePlan.build(graph, p, max_qubits=max_qubits)
         self._plans[key] = plan
         while len(self._plans) > self.max_entries:

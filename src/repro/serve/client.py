@@ -151,6 +151,13 @@ class ServeClient:
     def status(self) -> dict:
         return self.request({"op": "status"})
 
+    def metrics(self) -> dict:
+        """Snapshot + Prometheus text from the daemon's ``metrics`` op."""
+        reply = self.request({"op": "metrics"})
+        if not reply.get("ok"):
+            raise ServeError(reply)
+        return reply
+
     def drain(self) -> dict:
         return self.request({"op": "drain"})
 

@@ -40,6 +40,9 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.log import NullLog
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import Tracer
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -116,6 +119,8 @@ class ServeDaemon:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         fault=None,
         poll_interval: float = 0.02,
+        trace_path: str | Path | None = None,
+        log=None,
     ) -> None:
         self.socket_path = Path(socket_path)
         self.store = ResultStore(store_path) if store_path is not None else None
@@ -125,7 +130,14 @@ class ServeDaemon:
             high_water=high_water,
             max_attempts=max_attempts,
         )
-        self.pool = make_pool(pool, workers, fault=fault)
+        # Observability side channels: a file tracer (workers collect
+        # spans, the pump stitches trees) and an event log.  Neither can
+        # change a result -- only record how it came to be.
+        self.tracer = Tracer(trace_path) if trace_path is not None else None
+        self.log = log if log is not None else NullLog()
+        self.pool = make_pool(
+            pool, workers, fault=fault, trace=self.tracer is not None, log=self.log
+        )
         self.poll_interval = poll_interval
         self.tickets: dict[str, Ticket] = {}
         self._ticket_ids = itertools.count(1)
@@ -226,17 +238,28 @@ class ServeDaemon:
                     "results": len(self.store),
                     "dead_letters": len(self.store.dead_letters()),
                 }
+            info["metrics"] = REGISTRY.snapshot()
             return ok_reply(**info)
+
+    def metrics(self) -> dict:
+        """The ``metrics`` op: a snapshot plus its Prometheus rendering."""
+        return ok_reply(
+            metrics=REGISTRY.snapshot(), prometheus=REGISTRY.render_prometheus()
+        )
 
     def request_drain(self) -> dict:
         with self._lock:
             self._draining = True
+            self.log.info("drain_requested", backlog=self.queue.depth + self.queue.num_running)
             return ok_reply(draining=True, backlog=self.queue.depth + self.queue.num_running)
 
     def request_shutdown(self) -> dict:
         with self._landed:
             self._draining = True
             self._shutdown = True
+            self.log.info(
+                "shutdown_requested", backlog=self.queue.depth + self.queue.num_running
+            )
             self._landed.notify_all()
             return ok_reply(
                 draining=True,
@@ -276,6 +299,8 @@ class ServeDaemon:
             timeout=self.poll_interval,
             lock=self._lock,
             landed=self._landed,
+            tracer=self.tracer,
+            log=self.log,
         )
 
     def _finished(self) -> bool:
@@ -294,6 +319,12 @@ class ServeDaemon:
         self.socket_path.parent.mkdir(parents=True, exist_ok=True)
         self.socket_path.unlink(missing_ok=True)
         server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.log.info(
+            "daemon_started",
+            socket=str(self.socket_path),
+            workers=self.pool.workers,
+            traced=self.tracer is not None,
+        )
         try:
             server.bind(str(self.socket_path))
             server.listen(64)
@@ -313,6 +344,11 @@ class ServeDaemon:
             self.pool.close()
             server.close()
             self.socket_path.unlink(missing_ok=True)
+            if self.tracer is not None:
+                # A final metrics record makes the trace self-contained:
+                # `red-qaoa trace summarize` derives its cache table here.
+                self.tracer.write_metrics(REGISTRY.snapshot())
+            self.log.info("daemon_stopped", completed=len(self.queue.completed))
 
     def _accept_loop(self, server: socket.socket) -> None:
         while not self._stopped:
@@ -344,6 +380,8 @@ class ServeDaemon:
                     self._write(stream, self.poll_ticket(message["ticket"]))
                 elif op == "status":
                     self._write(stream, self.status())
+                elif op == "metrics":
+                    self._write(stream, self.metrics())
                 elif op == "drain":
                     self._write(stream, self.request_drain())
                 elif op == "shutdown":

@@ -22,7 +22,11 @@ Requests (``{"op": ..., ...}``):
     ``{"event": "result", ...}`` line the moment it lands, terminated by
     one ``{"event": "done", ...}`` summary line.
 ``status``
-    Queue depth/backlog, worker pids, drain state, version.
+    Queue depth/backlog, worker pids, drain state, version, and a
+    metrics snapshot.
+``metrics``
+    A full metrics snapshot plus its Prometheus text rendering -- point a
+    scraper bridge here.
 ``drain``
     Stop admitting new submissions; polls and streams keep working.
 ``shutdown``
@@ -50,7 +54,7 @@ __all__ = [
 
 PROTOCOL_VERSION = 1
 
-OPS = ("submit", "poll", "stream", "status", "drain", "shutdown")
+OPS = ("submit", "poll", "stream", "status", "metrics", "drain", "shutdown")
 
 
 class ProtocolError(ValueError):

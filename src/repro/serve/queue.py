@@ -33,11 +33,35 @@ store when one is attached) and the shard moves on.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 
 from repro.analysis.runtime import estimate_pipeline_cost
+from repro.obs.metrics import REGISTRY
 from repro.service.jobs import JobResult, JobSpec
 from repro.service.store import ResultStore
+
+_SUBMITTED = REGISTRY.counter(
+    "redqaoa_queue_submitted_total", "job submissions offered to the queue"
+)
+_DEDUPED = REGISTRY.counter(
+    "redqaoa_queue_deduped_total", "submissions answered from cache or in-flight work"
+)
+_REJECTED = REGISTRY.counter(
+    "redqaoa_queue_rejected_total", "submissions rejected by backpressure"
+)
+_COMPLETED = REGISTRY.counter("redqaoa_jobs_completed_total", "jobs completed")
+_REQUEUED = REGISTRY.counter(
+    "redqaoa_jobs_requeued_total", "failed or crashed-out jobs returned to a shard"
+)
+_DEAD = REGISTRY.counter(
+    "redqaoa_jobs_dead_total", "jobs parked as dead letters"
+)
+_CRASHES = REGISTRY.counter(
+    "redqaoa_worker_crashes_total", "worker deaths observed while holding a claim"
+)
+_DEPTH = REGISTRY.gauge("redqaoa_queue_depth", "pending jobs across all shards")
+_RUNNING = REGISTRY.gauge("redqaoa_queue_running", "jobs in claimed shards")
 
 __all__ = [
     "DEFAULT_HIGH_WATER",
@@ -76,13 +100,20 @@ class SubmitOutcome:
 
 @dataclass
 class QueuedJob:
-    """One unique fingerprint waiting in (or crashed back into) a shard."""
+    """One unique fingerprint waiting in (or crashed back into) a shard.
+
+    ``enqueued_ns`` / ``claimed_ns`` are ``perf_counter_ns`` stamps for the
+    observability layer (queue-wait spans and latency histograms); they
+    never influence scheduling.
+    """
 
     spec: JobSpec
     fingerprint: str
     shard: str
     cost: float
     attempts: int = 0
+    enqueued_ns: int = 0
+    claimed_ns: int = 0
 
 
 @dataclass
@@ -107,8 +138,11 @@ class ShardClaim:
     def specs(self) -> list[JobSpec]:
         return [job.spec for job in self.jobs]
 
+    def job_of(self, fingerprint: str) -> QueuedJob:
+        return next(job for job in self.jobs if job.fingerprint == fingerprint)
+
     def spec_of(self, fingerprint: str) -> JobSpec:
-        return next(job.spec for job in self.jobs if job.fingerprint == fingerprint)
+        return self.job_of(fingerprint).spec
 
     def unresolved(self) -> list[QueuedJob]:
         return [job for job in self.jobs if job.fingerprint not in self.done]
@@ -231,16 +265,20 @@ class ShardedJobQueue:
         """Admit one spec: dedup, then backpressure, then enqueue."""
         fingerprint = spec.fingerprint
         self.submitted += 1
+        _SUBMITTED.inc()
         found = self.lookup(fingerprint)
         if found is not None:
             self.deduped += 1
+            _DEDUPED.inc()
             return SubmitOutcome(CACHED, fingerprint, result=found)
         shard = self.shard_of(fingerprint)
         if fingerprint in self._running or fingerprint in self._pending.get(shard, {}):
             self.deduped += 1
+            _DEDUPED.inc()
             return SubmitOutcome(INFLIGHT, fingerprint)
         if self.depth >= self.high_water:
             self.rejected += 1
+            _REJECTED.inc()
             return SubmitOutcome(REJECTED, fingerprint, retry_after=self.retry_after())
         job = QueuedJob(
             spec=spec,
@@ -253,8 +291,10 @@ class ShardedJobQueue:
                 maxiter=spec.maxiter,
                 finetune_maxiter=spec.finetune_maxiter,
             ),
+            enqueued_ns=time.perf_counter_ns(),
         )
         self._pending.setdefault(shard, {})[fingerprint] = job
+        _DEPTH.set(self.depth)
         return SubmitOutcome(QUEUED, fingerprint)
 
     # -- claiming ------------------------------------------------------------
@@ -276,9 +316,13 @@ class ShardedJobQueue:
         _, shard = min(candidates)
         jobs = sorted(self._pending[shard].values(), key=lambda job: job.fingerprint)
         self._pending[shard].clear()
+        claimed_ns = time.perf_counter_ns()
         for job in jobs:
+            job.claimed_ns = claimed_ns
             self._running[job.fingerprint] = job
         self._claimed_shards.add(shard)
+        _DEPTH.set(self.depth)
+        _RUNNING.set(self.num_running)
         reductions = None
         if self.reductions is not None:
             reductions = {
@@ -298,6 +342,8 @@ class ShardedJobQueue:
         self._running.pop(fingerprint, None)
         claim.done.add(fingerprint)
         self.completed[fingerprint] = result
+        _COMPLETED.inc()
+        _RUNNING.set(self.num_running)
         if self.store is not None:
             self.store.put(result)
 
@@ -311,10 +357,13 @@ class ShardedJobQueue:
         if job is None:  # unknown fingerprint: nothing to do
             return "dead"
         job.attempts += 1
+        _RUNNING.set(self.num_running)
         if job.attempts >= self.max_attempts:
             self._park(job, error)
             return "dead"
         self._pending.setdefault(job.shard, {})[fingerprint] = job
+        _REQUEUED.inc()
+        _DEPTH.set(self.depth)
         return "requeued"
 
     def finish_claim(self, claim: ShardClaim) -> None:
@@ -331,6 +380,7 @@ class ShardedJobQueue:
         rather than crash-looping forever.  Returns the requeued jobs.
         """
         self.crashes += 1
+        _CRASHES.inc()
         requeued = []
         for job in claim.unresolved():
             self._running.pop(job.fingerprint, None)
@@ -339,8 +389,11 @@ class ShardedJobQueue:
                 self._park(job, "worker crashed while executing this shard")
             else:
                 self._pending.setdefault(job.shard, {})[job.fingerprint] = job
+                _REQUEUED.inc()
                 requeued.append(job)
         self.finish_claim(claim)
+        _DEPTH.set(self.depth)
+        _RUNNING.set(self.num_running)
         return requeued
 
     def _park(self, job: QueuedJob, error: str) -> None:
@@ -350,6 +403,7 @@ class ShardedJobQueue:
             "instance": job.spec.instance_fingerprint,
         }
         self.dead[job.fingerprint] = record
+        _DEAD.inc()
         if self.store is not None:
             self.store.park(
                 job.fingerprint, job.spec.instance_fingerprint, error, job.attempts

@@ -38,12 +38,28 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import signal
+import time
 from collections import deque
 from dataclasses import dataclass
 
+from repro.obs.log import NullLog
+from repro.obs.metrics import REGISTRY, snapshot_delta
+from repro.obs.trace import Tracer, get_tracer, install_tracer, span, using_tracer
 from repro.qaoa.lightcone import PlanCache
 from repro.serve.queue import ShardClaim, ShardedJobQueue
 from repro.service.jobs import JobResult, run_job
+
+_RESPAWNS = REGISTRY.counter(
+    "redqaoa_worker_respawns_total", "replacement workers spawned after a crash"
+)
+_JOB_SECONDS = REGISTRY.histogram(
+    "redqaoa_job_seconds", "submit-to-durable latency per completed job"
+)
+_QUEUE_WAIT_SECONDS = REGISTRY.histogram(
+    "redqaoa_queue_wait_seconds", "submit-to-claim wait per completed job"
+)
+
+_NULL_LOG = NullLog()
 
 __all__ = [
     "CrashPoint",
@@ -87,7 +103,10 @@ class WorkerEvent:
     """One message out of a pool.
 
     ``kind`` is ``"result"`` (with ``result``), ``"job_failed"`` (with
-    ``error``), ``"shard_done"``, or ``"worker_crashed"``.
+    ``error``), ``"shard_done"``, or ``"worker_crashed"``.  ``spans``
+    carries the worker-side span records of a traced result and
+    ``metrics`` the worker's metrics delta on ``shard_done`` -- both pure
+    observability side channels, never consulted by scheduling.
     """
 
     kind: str
@@ -95,34 +114,55 @@ class WorkerEvent:
     fingerprint: str | None = None
     result: JobResult | None = None
     error: str | None = None
+    spans: list | None = None
+    metrics: dict | None = None
 
 
-def execute_shard(specs, plan_cache=None, reductions=None, fault=None):
+def _run_one(spec, shared: dict, plan_cache) -> JobResult:
+    """Execute one spec, computing its reduction if the shard lacks it."""
+    instance_fp = spec.instance_fingerprint
+    if instance_fp not in shared:
+        with span("reduce", instance=instance_fp[:12]):
+            shared[instance_fp] = spec.compute_reduction()
+    return run_job(spec, reduction=shared[instance_fp], plan_cache=plan_cache)
+
+
+def execute_shard(specs, plan_cache=None, reductions=None, fault=None, collect_spans=False):
     """Run one claim's specs in fingerprint order; yield per-job outcomes.
 
-    Yields ``("result", fingerprint, JobResult)`` for each success and
-    ``("failed", fingerprint, error_text)`` for each job whose execution
-    raised -- a failure never stops the rest of the shard.  Reductions are
-    shared per instance fingerprint within the shard (or taken from
-    ``reductions`` when the claim carries precomputed ones); both paths
-    are pure functions of the instance fingerprint, hence bit-identical.
+    Yields ``("result", fingerprint, JobResult, spans)`` for each success
+    and ``("failed", fingerprint, error_text, None)`` for each job whose
+    execution raised -- a failure never stops the rest of the shard.
+    Reductions are shared per instance fingerprint within the shard (or
+    taken from ``reductions`` when the claim carries precomputed ones);
+    both paths are pure functions of the instance fingerprint, hence
+    bit-identical.
+
+    With ``collect_spans`` each job runs under a fresh collector
+    :class:`~repro.obs.trace.Tracer` whose drained spans ride along with
+    the result (root span: ``execute``).  Spans of a *failed* attempt are
+    discarded -- only the attempt that lands ships a tree, so retries
+    never leave orphans.  The tracer swap is confined to the work between
+    yields, never held across one.
     """
     specs = sorted(specs, key=lambda spec: spec.fingerprint)
     shared = dict(reductions) if reductions else {}
     for spec in specs:
         if fault is not None:
             fault.trip(spec.fingerprint)
+        collector = Tracer(None) if collect_spans else None
         try:
-            instance_fp = spec.instance_fingerprint
-            if instance_fp not in shared:
-                shared[instance_fp] = spec.compute_reduction()
-            result = run_job(
-                spec, reduction=shared[instance_fp], plan_cache=plan_cache
-            )
+            if collector is not None:
+                with using_tracer(collector), collector.bind(spec.fingerprint):
+                    with collector.span("execute"):
+                        result = _run_one(spec, shared, plan_cache)
+            else:
+                result = _run_one(spec, shared, plan_cache)
         except Exception as exc:  # noqa: BLE001 - reported, never wedges the shard
-            yield "failed", spec.fingerprint, f"{type(exc).__name__}: {exc}"
+            yield "failed", spec.fingerprint, f"{type(exc).__name__}: {exc}", None
             continue
-        yield "result", spec.fingerprint, result
+        spans = collector.drain() if collector is not None else None
+        yield "result", spec.fingerprint, result, spans
 
 
 class InlineWorkerPool:
@@ -135,8 +175,9 @@ class InlineWorkerPool:
 
     workers = 1
 
-    def __init__(self, plan_cache: PlanCache | None = None) -> None:
+    def __init__(self, plan_cache: PlanCache | None = None, trace: bool = False) -> None:
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.trace = trace
         self._events: deque[WorkerEvent] = deque()
 
     def idle_workers(self) -> int:
@@ -146,12 +187,21 @@ class InlineWorkerPool:
         return [os.getpid()]
 
     def dispatch(self, claim: ShardClaim) -> None:
-        for kind, fingerprint, payload in execute_shard(
-            claim.specs, plan_cache=self.plan_cache, reductions=claim.reductions
+        # Collect spans whenever tracing is on so the pump stitches inline
+        # jobs exactly like process-worker jobs.  Metrics need no delta:
+        # inline execution increments the daemon's own registry directly.
+        collect = self.trace or get_tracer() is not None
+        for kind, fingerprint, payload, spans in execute_shard(
+            claim.specs,
+            plan_cache=self.plan_cache,
+            reductions=claim.reductions,
+            collect_spans=collect,
         ):
             if kind == "result":
                 self._events.append(
-                    WorkerEvent("result", claim.id, fingerprint, result=payload)
+                    WorkerEvent(
+                        "result", claim.id, fingerprint, result=payload, spans=spans
+                    )
                 )
             else:
                 self._events.append(
@@ -168,11 +218,15 @@ class InlineWorkerPool:
         self._events.clear()
 
 
-def _process_worker_main(conn, fault: CrashPoint | None) -> None:
+def _process_worker_main(conn, fault: CrashPoint | None, trace: bool) -> None:
     """Worker loop: receive claims, stream per-job messages back."""
     # The daemon's Ctrl-C must not tear workers down mid-job; orderly
     # shutdown arrives as a "stop" message (or EOF when the parent died).
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Fork inherits the daemon's global file tracer; a worker must never
+    # write the trace file directly (interleaved appends, duplicate
+    # trees) -- its spans ship over the pipe instead.
+    install_tracer(None)
     plan_cache = PlanCache()
     while True:
         try:
@@ -182,23 +236,35 @@ def _process_worker_main(conn, fault: CrashPoint | None) -> None:
         if message[0] == "stop":
             break
         _, claim_id, specs, reductions = message
-        for kind, fingerprint, payload in execute_shard(
-            specs, plan_cache=plan_cache, reductions=reductions, fault=fault
+        baseline = REGISTRY.snapshot()
+        for kind, fingerprint, payload, spans in execute_shard(
+            specs,
+            plan_cache=plan_cache,
+            reductions=reductions,
+            fault=fault,
+            collect_spans=trace,
         ):
-            conn.send((kind, claim_id, fingerprint, payload))
-        conn.send(("done", claim_id, None, None))
+            conn.send((kind, claim_id, fingerprint, payload, spans))
+        # Ship this claim's metrics as a delta against the pre-claim
+        # snapshot, so the pump can merge without double counting (the
+        # fork-inherited baseline values cancel out).  Gauges are dropped:
+        # a worker's fork-time gauge values are stale copies of the
+        # daemon's own and must never clobber them.
+        delta = snapshot_delta(REGISTRY.snapshot(), baseline)
+        delta["gauges"] = {}
+        conn.send(("done", claim_id, None, None, delta))
     conn.close()
 
 
 class _Worker:
-    def __init__(self, worker_id: int, fault: CrashPoint | None) -> None:
+    def __init__(self, worker_id: int, fault: CrashPoint | None, trace: bool) -> None:
         self.id = worker_id
         self.claim_id: int | None = None
         parent_conn, child_conn = multiprocessing.Pipe()
         self.conn = parent_conn
         self.process = multiprocessing.Process(
             target=_process_worker_main,
-            args=(child_conn, fault),
+            args=(child_conn, fault, trace),
             name=f"repro-serve-worker-{worker_id}",
             daemon=True,
         )
@@ -207,17 +273,29 @@ class _Worker:
 
 
 class ProcessWorkerPool:
-    """N persistent worker processes with crash detection and respawn."""
+    """N persistent worker processes with crash detection and respawn.
 
-    def __init__(self, workers: int, fault: CrashPoint | None = None) -> None:
+    ``trace`` makes workers collect per-job spans (shipped back with each
+    result); ``log`` receives respawn events.  Neither affects results.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        fault: CrashPoint | None = None,
+        trace: bool = False,
+        log=None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.fault = fault
+        self.trace = trace
+        self.log = log if log is not None else _NULL_LOG
         self.respawns = 0
         self._ids = iter(range(1, 1_000_000))
         self._pool: list[_Worker] = [
-            _Worker(next(self._ids), fault) for _ in range(workers)
+            _Worker(next(self._ids), fault, trace) for _ in range(workers)
         ]
         self._pending: list[WorkerEvent] = []  # crashes detected at dispatch
         self._closed = False
@@ -262,10 +340,16 @@ class ProcessWorkerPool:
                 continue
             try:
                 while worker.conn.poll():
-                    kind, claim_id, fingerprint, payload = worker.conn.recv()
+                    kind, claim_id, fingerprint, payload, extra = worker.conn.recv()
                     if kind == "result":
                         events.append(
-                            WorkerEvent("result", claim_id, fingerprint, result=payload)
+                            WorkerEvent(
+                                "result",
+                                claim_id,
+                                fingerprint,
+                                result=payload,
+                                spans=extra,
+                            )
                         )
                     elif kind == "failed":
                         events.append(
@@ -274,7 +358,9 @@ class ProcessWorkerPool:
                             )
                         )
                     elif kind == "done":
-                        events.append(WorkerEvent("shard_done", claim_id))
+                        events.append(
+                            WorkerEvent("shard_done", claim_id, metrics=extra)
+                        )
                         worker.claim_id = None
             except (EOFError, OSError):
                 events.append(WorkerEvent("worker_crashed", worker.claim_id))
@@ -288,8 +374,12 @@ class ProcessWorkerPool:
         worker.process.join(timeout=5)
         self._pool.remove(worker)
         if not self._closed:
-            self._pool.append(_Worker(next(self._ids), self.fault))
+            self._pool.append(_Worker(next(self._ids), self.fault, self.trace))
             self.respawns += 1
+            _RESPAWNS.inc()
+            self.log.info(
+                "worker_respawned", dead_worker=worker.id, pool_size=len(self._pool)
+            )
 
     def close(self) -> None:
         self._closed = True
@@ -312,17 +402,24 @@ def make_pool(
     workers: int,
     plan_cache: PlanCache | None = None,
     fault: CrashPoint | None = None,
+    trace: bool = False,
+    log=None,
 ):
     """Build a pool: ``kind`` is ``"inline"``, ``"process"``, or ``None``
-    to pick inline for one worker and processes otherwise."""
+    to pick inline for one worker and processes otherwise.
+
+    ``trace`` turns on per-job span collection in either pool kind (the
+    inline pool also follows the process-global tracer); ``log`` receives
+    the process pool's respawn events.
+    """
     if kind is None:
         kind = "inline" if workers <= 1 else "process"
     if kind == "inline":
         if workers > 1:
             raise ValueError("the inline pool is single-worker; use pool='process'")
-        return InlineWorkerPool(plan_cache=plan_cache)
+        return InlineWorkerPool(plan_cache=plan_cache, trace=trace)
     if kind == "process":
-        return ProcessWorkerPool(workers, fault=fault)
+        return ProcessWorkerPool(workers, fault=fault, trace=trace, log=log)
     raise ValueError(f"pool must be 'inline' or 'process', got {kind!r}")
 
 
@@ -337,6 +434,26 @@ class _NullLock:
 _NULL_LOCK = _NullLock()
 
 
+def _record_dead_tree(tracer, job) -> None:
+    """Synthesize a (degenerate) span tree for a dead-lettered job.
+
+    A job that never completed still closed -- the invariant "every
+    submitted job yields exactly one closed tree" holds for dead letters
+    too, with ``source="dead"`` and a zero-length store phase.
+    """
+    now = time.perf_counter_ns()
+    tracer.record_job(
+        job.fingerprint,
+        None,
+        enqueued_ns=job.enqueued_ns or None,
+        claimed_ns=job.claimed_ns or None,
+        store_t0=now,
+        store_t1=now,
+        attempts=job.attempts,
+        source="dead",
+    )
+
+
 def pump(
     queue: ShardedJobQueue,
     pool,
@@ -346,6 +463,8 @@ def pump(
     timeout: float = 0.05,
     lock=None,
     landed=None,
+    tracer=None,
+    log=None,
 ) -> bool:
     """One scheduling step: dispatch ready shards, resolve worker events.
 
@@ -361,8 +480,15 @@ def pump(
     the inline pool, ``poll`` always) runs outside it.  ``landed`` is an
     optional condition variable notified after events resolve, waking
     result streamers.
+
+    ``tracer`` (a file-mode :class:`~repro.obs.trace.Tracer`) makes the
+    pump stitch every landed job into a complete span tree -- worker
+    spans plus synthesized queue/dispatch/drain gaps -- and ``log`` (an
+    :class:`~repro.obs.log.EventLog`) receives claim/failure/crash
+    events.  Both are pure side channels.
     """
     guard = lock if lock is not None else _NULL_LOCK
+    log = log if log is not None else _NULL_LOG
     progressed = False
     while True:
         with guard:
@@ -371,6 +497,9 @@ def pump(
                 claims[claim.id] = claim
         if claim is None:
             break
+        log.debug(
+            "shard_claimed", claim=claim.id, shard=claim.shard, jobs=len(claim.jobs)
+        )
         pool.dispatch(claim)
         progressed = True
     if not claims:
@@ -385,22 +514,74 @@ def pump(
                 continue
             progressed = True
             if event.kind == "result":
+                store_t0 = time.perf_counter_ns()
                 queue.complete(claim, event.fingerprint, event.result)
+                store_t1 = time.perf_counter_ns()
+                job = claim.job_of(event.fingerprint)
+                if job.enqueued_ns:
+                    _JOB_SECONDS.observe((store_t1 - job.enqueued_ns) / 1e9)
+                    if job.claimed_ns:
+                        _QUEUE_WAIT_SECONDS.observe(
+                            (job.claimed_ns - job.enqueued_ns) / 1e9
+                        )
+                if tracer is not None:
+                    tracer.record_job(
+                        event.fingerprint,
+                        event.spans,
+                        enqueued_ns=job.enqueued_ns or None,
+                        claimed_ns=job.claimed_ns or None,
+                        store_t0=store_t0,
+                        store_t1=store_t1,
+                        attempts=job.attempts + 1,
+                    )
                 if on_result is not None:
-                    on_result(claim.spec_of(event.fingerprint), event.result)
+                    on_result(job.spec, event.result)
             elif event.kind == "job_failed":
                 outcome = queue.fail(claim, event.fingerprint, event.error)
-                if outcome == "dead" and on_dead is not None:
-                    on_dead(claim.spec_of(event.fingerprint), event.error)
+                job = claim.job_of(event.fingerprint)
+                log.warning(
+                    "job_failed",
+                    fingerprint=event.fingerprint,
+                    attempts=job.attempts,
+                    outcome=outcome,
+                    error=event.error,
+                )
+                if outcome == "dead":
+                    log.error(
+                        "dead_letter",
+                        fingerprint=event.fingerprint,
+                        attempts=job.attempts,
+                        error=event.error,
+                    )
+                    if tracer is not None:
+                        _record_dead_tree(tracer, job)
+                    if on_dead is not None:
+                        on_dead(job.spec, event.error)
             elif event.kind == "shard_done":
+                if event.metrics:
+                    REGISTRY.merge(event.metrics)
                 queue.finish_claim(claim)
                 del claims[event.claim_id]
             elif event.kind == "worker_crashed":
+                log.error(
+                    "worker_crashed",
+                    claim=claim.id,
+                    shard=claim.shard,
+                    unresolved=len(claim.unresolved()),
+                )
                 requeued = queue.release_crashed(claim)
                 del claims[event.claim_id]
-                if on_dead is not None:
-                    for job in claim.unresolved():
-                        if job not in requeued and job.fingerprint in queue.dead:
+                for job in claim.unresolved():
+                    if job not in requeued and job.fingerprint in queue.dead:
+                        log.error(
+                            "dead_letter",
+                            fingerprint=job.fingerprint,
+                            attempts=job.attempts,
+                            error="worker crashed while executing this shard",
+                        )
+                        if tracer is not None:
+                            _record_dead_tree(tracer, job)
+                        if on_dead is not None:
                             on_dead(
                                 job.spec,
                                 "worker crashed while executing this shard",
@@ -410,9 +591,19 @@ def pump(
     return progressed
 
 
-def drain(queue: ShardedJobQueue, pool, on_result=None, on_dead=None) -> dict:
+def drain(
+    queue: ShardedJobQueue, pool, on_result=None, on_dead=None, tracer=None, log=None
+) -> dict:
     """Pump until the queue is idle; returns ``queue.completed``."""
     claims: dict[int, ShardClaim] = {}
     while not queue.is_idle():
-        pump(queue, pool, claims, on_result=on_result, on_dead=on_dead)
+        pump(
+            queue,
+            pool,
+            claims,
+            on_result=on_result,
+            on_dead=on_dead,
+            tracer=tracer,
+            log=log,
+        )
     return queue.completed

@@ -157,14 +157,22 @@ def _entry_spec(entry: dict, position: int) -> JobSpec:
 
 @dataclass
 class CampaignReport:
-    """A batch report plus per-label aggregates, JSON-serializable."""
+    """A batch report plus per-label aggregates, JSON-serializable.
+
+    ``store`` (when a persistent store backed the run) summarizes the
+    store's accesses -- fed from the same counters the metrics registry
+    tracks (``redqaoa_store_hits_total`` / ``redqaoa_store_misses_total``).
+    """
 
     batch: BatchReport
     aggregates: dict
+    store: dict | None = None
 
     def to_dict(self) -> dict:
         report = self.batch.to_dict()
         report["aggregates"] = self.aggregates
+        if self.store is not None:
+            report["store"] = self.store
         return report
 
     def write(self, path: str | Path) -> None:
@@ -256,4 +264,13 @@ class Campaign:
                     sum(best_values) / len(best_values) if best_values else None
                 ),
             }
-        return CampaignReport(batch=batch, aggregates=aggregates)
+        store = None
+        if self.store is not None:
+            store = {
+                "path": str(self.store.path),
+                "results": len(self.store),
+                "hits": self.store.hits,
+                "misses": self.store.misses,
+                "dead_letters": len(self.store.dead_letters()),
+            }
+        return CampaignReport(batch=batch, aggregates=aggregates, store=store)

@@ -47,6 +47,7 @@ import networkx as nx
 from repro.core.annealer import AnnealResult
 from repro.core.cache import ReductionCache
 from repro.core.reduction import ReductionResult
+from repro.obs.trace import get_tracer, span, trace_job
 from repro.qaoa.lightcone import PlanCache
 from repro.serve.queue import ShardedJobQueue
 from repro.serve.workers import drain, make_pool
@@ -107,6 +108,7 @@ class BatchReport:
     plan_hits: int
     plan_misses: int
     seconds: float
+    store_misses: int = 0
     results: list[JobView] = field(default_factory=list)
 
     @property
@@ -121,6 +123,7 @@ class BatchReport:
             "instances": self.num_instances,
             "deduped": self.deduped,
             "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
             "computed": self.computed,
             "reduction_reuses": self.reduction_reuses,
             "reduction_cross_hits": self.reduction_cross_hits,
@@ -235,7 +238,13 @@ class BatchScheduler:
                     reduction = _reduction_from_bank(spec, banked)
                     cross_hits += 1
             if reduction is None:
-                reduction = spec.compute_reduction()
+                # Phase-1 reductions get their own mini span trees (root
+                # named "job" like every tree, so one validator covers
+                # both): they run before any queue exists, so there is no
+                # enqueue/claim timeline to stitch them into.
+                with trace_job(f"phase1:{instance_fp[:12]}", stage="reduction"):
+                    with span("reduce", instance=instance_fp[:12]):
+                        reduction = spec.compute_reduction()
                 if self.reduction_reuse == "cross-instance" and spec.graph is not None:
                     self.reduction_cache.bank(reduction)
             reductions[instance_fp] = reduction
@@ -266,9 +275,15 @@ class BatchScheduler:
         def dead(spec, error):
             raise RuntimeError(f"job {spec.label or spec.fingerprint} failed: {error}")
 
-        pool = make_pool(self.pool, self.workers, plan_cache=self.plan_cache)
+        tracer = get_tracer()
+        pool = make_pool(
+            self.pool,
+            self.workers,
+            plan_cache=self.plan_cache,
+            trace=tracer is not None,
+        )
         try:
-            drain(queue, pool, on_result=landed, on_dead=dead)
+            drain(queue, pool, on_result=landed, on_dead=dead, tracer=tracer)
         finally:
             pool.close()
 
@@ -294,6 +309,7 @@ class BatchScheduler:
             num_unique=len(unique),
             num_instances=len({spec.instance_fingerprint for spec in unique.values()}),
             store_hits=store_hits,
+            store_misses=len(pending) if self.store is not None else 0,
             computed=len(pending),
             reduction_reuses=reduction_reuses,
             reduction_cross_hits=cross_hits,

@@ -40,11 +40,25 @@ try:  # advisory locking is POSIX-only; the store degrades gracefully
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
+from repro.obs.metrics import REGISTRY
 from repro.service.jobs import JobResult
 
 __all__ = ["STORE_SCHEMA", "ResultStore"]
 
 STORE_SCHEMA = 1
+
+_STORE_HITS = REGISTRY.counter(
+    "redqaoa_store_hits_total", "result-store gets served from disk"
+)
+_STORE_MISSES = REGISTRY.counter(
+    "redqaoa_store_misses_total", "result-store gets that found nothing"
+)
+_STORE_APPENDS = REGISTRY.counter(
+    "redqaoa_store_appends_total", "records appended to the store file"
+)
+_STORE_DEAD = REGISTRY.counter(
+    "redqaoa_store_dead_letters_total", "dead-letter records parked in the store"
+)
 
 
 class ResultStore:
@@ -126,8 +140,10 @@ class ResultStore:
         record = self._index.get(fingerprint)
         if record is None:
             self.misses += 1
+            _STORE_MISSES.inc()
             return None
         self.hits += 1
+        _STORE_HITS.inc()
         return JobResult.from_payload(
             fingerprint,
             record.get("instance", ""),
@@ -169,10 +185,12 @@ class ResultStore:
             },
         }
         self._append(record)
+        _STORE_DEAD.inc()
         if fingerprint not in self._index:
             self._dead[fingerprint] = record
 
     def _append(self, record: dict) -> None:
+        _STORE_APPENDS.inc()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         with self.path.open("a", encoding="utf-8") as handle:
