@@ -104,4 +104,4 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"

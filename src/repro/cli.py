@@ -290,6 +290,25 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="stderr event-log threshold (default: warning)")
     serve.add_argument("--log-json", action="store_true",
                        help="emit log events as NDJSON instead of text lines")
+    serve.add_argument("--log-file", default=None, metavar="FILE",
+                       help="write log events (NDJSON) to FILE with size-capped "
+                            "rotation instead of stderr")
+    serve.add_argument("--log-max-bytes", type=int, default=10_000_000,
+                       help="rotate --log-file past this size (default: 10MB)")
+    serve.add_argument("--history", default=None, metavar="FILE",
+                       help="flight recorder: append periodic metrics snapshots "
+                            "to a rotating JSONL ring at FILE")
+    serve.add_argument("--history-interval", type=float, default=5.0,
+                       help="seconds between flight-recorder snapshots")
+    serve.add_argument("--stuck-after", type=float, default=300.0,
+                       help="health watchdog: a claimed shard with no result for "
+                            "this many seconds is flagged stuck")
+    serve.add_argument("--stuck-requeue", action="store_true",
+                       help="let the watchdog kill the worker holding a stuck "
+                            "shard so the crash path requeues it")
+    serve.add_argument("--health-window", type=float, default=60.0,
+                       help="seconds a crash/requeue/dead-letter keeps the "
+                            "health verdict degraded")
 
     submit = sub.add_parser(
         "submit",
@@ -340,6 +359,53 @@ def _build_parser() -> argparse.ArgumentParser:
                              "format instead of a status summary")
     status.add_argument("--json", action="store_true",
                         help="emit the raw status reply as JSON")
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard for a running serve daemon",
+    )
+    top.add_argument("--socket", required=True,
+                     help="unix socket path of the daemon")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between dashboard refreshes")
+    top.add_argument("--once", action="store_true",
+                     help="print a single frame and exit (for scripts/CI)")
+    top.add_argument("--no-color", action="store_true",
+                     help="disable ANSI colors (default off non-TTY)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="record and gate benchmark results against history",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="compare BENCH/trajectory/history files chronologically; "
+             "nonzero exit on regression",
+    )
+    bench_compare.add_argument(
+        "files", nargs="+",
+        help="BENCH_*.json, trajectory .jsonl, or flight-recorder history "
+             "files, oldest first")
+    bench_compare.add_argument("--floor", type=float, default=None,
+                               help="widen every noise floor to at least this "
+                                    "fraction (e.g. 0.4)")
+    bench_compare.add_argument("--advisory", action="store_true",
+                               help="report regressions but exit zero (CI on "
+                                    "shared hardware)")
+    bench_compare.add_argument("--json", action="store_true",
+                               help="emit the comparison as JSON")
+    bench_record = bench_sub.add_parser(
+        "record",
+        help="normalise BENCH files into one trajectory record",
+    )
+    bench_record.add_argument("files", nargs="+",
+                              help="BENCH_*.json files to normalise")
+    bench_record.add_argument("--label", required=True,
+                              help="record label (e.g. pr6, ci-2026-08-08)")
+    bench_record.add_argument("--out", default=None, metavar="FILE",
+                              help="append the record to this trajectory JSONL "
+                                   "(default: print it)")
 
     trace = sub.add_parser(
         "trace",
@@ -760,7 +826,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         high_water=args.high_water,
         max_attempts=args.max_attempts,
         trace_path=args.trace,
-        log=EventLog(level=args.log_level, json_mode=args.log_json),
+        log=EventLog(
+            level=args.log_level,
+            json_mode=args.log_json,
+            path=args.log_file,
+            max_bytes=args.log_max_bytes,
+        ),
+        history_path=args.history,
+        history_interval=args.history_interval,
+        stuck_after=args.stuck_after,
+        health_window=args.health_window,
+        stuck_requeue=args.stuck_requeue,
     )
     store_note = f", store {args.store}" if args.store else ""
     trace_note = f", trace {args.trace}" if args.trace else ""
@@ -859,6 +935,68 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+    from repro.serve import ServeError
+
+    try:
+        return run_top(
+            args.socket,
+            interval=args.interval,
+            once=args.once,
+            color=False if args.no_color else None,
+        )
+    except (ServeError, OSError) as exc:
+        raise SystemExit(f"top failed: {exc}")
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.regress import append_record, compare, load_records, make_record
+
+    if args.bench_command == "record":
+        try:
+            record = make_record(args.label, args.files)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"error reading benchmark files: {exc}")
+        if not record["metrics"]:
+            raise SystemExit("no recognised metrics in the given files")
+        if args.out is not None:
+            append_record(args.out, record)
+            print(f"recorded {len(record['metrics'])} metrics as "
+                  f"{args.label!r} in {args.out}")
+        else:
+            print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+
+    try:
+        records = load_records(args.files)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"error reading benchmark files: {exc}")
+    outcome = compare(records, default_floor=args.floor)
+    if args.json:
+        print(json.dumps(outcome, indent=2, sort_keys=True))
+    else:
+        if not outcome["rows"]:
+            print("no overlapping metrics to compare (baseline recorded)")
+        for row in outcome["rows"]:
+            mark = "REGRESSED" if row["regressed"] else "ok"
+            print(f"  {mark:<9} {row['metric']:<28} "
+                  f"{row['baseline_label']} {row['baseline']:.4g} -> "
+                  f"{row['label']} {row['value']:.4g} "
+                  f"({row['change']:+.1%}, floor {row['floor']:.0%})")
+        regressed = len(outcome["regressions"])
+        verdict = (
+            f"{regressed} regression(s)" if regressed
+            else f"no regressions across {len(outcome['rows'])} comparison(s)"
+        )
+        print(("ADVISORY: " if args.advisory and regressed else "") + verdict)
+    if outcome["ok"] or args.advisory:
+        return 0
+    return 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
@@ -885,6 +1023,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "status": _cmd_status,
+    "top": _cmd_top,
+    "bench": _cmd_bench,
     "trace": _cmd_trace,
 }
 

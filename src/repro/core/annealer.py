@@ -41,12 +41,15 @@ import numpy as np
 
 from repro.core.cooling import AdaptiveCooling, ConstantCooling, CoolingSchedule
 from repro.core.objective import and_difference_objective
-from repro.obs.metrics import REGISTRY
+from repro.obs.metrics import REGISTRY, STAGE_BUCKETS
 
 _SA_RUNS = REGISTRY.counter("redqaoa_sa_runs_total", "simulated-annealing runs")
 _SA_STEPS = REGISTRY.counter("redqaoa_sa_steps_total", "simulated-annealing steps")
 _SA_SECONDS = REGISTRY.counter(
     "redqaoa_sa_seconds_total", "seconds spent inside the annealing loop"
+)
+_SA_RUN_DURATION = REGISTRY.histogram(
+    "redqaoa_sa_run_seconds", "per-run annealing latency", buckets=STAGE_BUCKETS
 )
 from repro.utils.graphs import (
     average_node_strength,
@@ -183,7 +186,9 @@ def _anneal(graph, k, initial_temperature, final_temperature, cooling, seed, max
 
     _SA_RUNS.inc()
     _SA_STEPS.inc(steps)
-    _SA_SECONDS.inc(time.perf_counter() - t0)
+    run_seconds = time.perf_counter() - t0
+    _SA_SECONDS.inc(run_seconds)
+    _SA_RUN_DURATION.observe(run_seconds)
     return AnnealResult(
         nodes=best,
         subgraph=nx.Graph(graph.subgraph(best)),

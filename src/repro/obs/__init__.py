@@ -1,6 +1,6 @@
-"""repro.obs -- observability: span tracing, metrics, structured logging.
+"""repro.obs -- observability: tracing, metrics, logging, history, health.
 
-The instrument panel for the whole stack.  Three pieces:
+The instrument panel for the whole stack.  Layer one (PR 9):
 
 - :mod:`repro.obs.trace` -- nested span tracing on ``perf_counter_ns``
   into append-only JSONL, with worker spans shipped over result pipes and
@@ -9,12 +9,40 @@ The instrument panel for the whole stack.  Three pieces:
   counters/gauges/histograms with mergeable snapshots and Prometheus
   text exposition;
 - :mod:`repro.obs.log` -- leveled NDJSON event logging for daemon
-  incidents (crashes, requeues, dead letters).
+  incidents (crashes, requeues, dead letters), with a recent-events ring
+  and an optional size-capped rotating file sink.
+
+Layer two, built on those primitives:
+
+- :mod:`repro.obs.history` -- the flight recorder: periodic registry
+  snapshots in a rotating size-bounded JSONL ring, read back as time
+  series (rates, gauge curves, quantile estimates) across restarts;
+- :mod:`repro.obs.health` -- live ok/degraded/failing verdicts over
+  queue/pool/claim state (stuck-shard watchdog, liveness, incident and
+  failure-rate checks), served by the daemon's ``health`` protocol verb;
+- :mod:`repro.obs.top` -- the ``red-qaoa top`` terminal dashboard over
+  the ``status``/``health`` verbs;
+- :mod:`repro.obs.regress` -- noise-aware benchmark regression gating
+  (``red-qaoa bench compare``) over recorded BENCH/trajectory/history
+  files.
 
 Everything here is a pure side channel: enabling any of it changes no
 fingerprint, seed, or result bit.
 """
 
+from repro.obs.health import (
+    HEALTH_DEGRADED,
+    HEALTH_FAILING,
+    HEALTH_OK,
+    HealthMonitor,
+    HealthReport,
+)
+from repro.obs.history import (
+    FlightRecorder,
+    HistorySeries,
+    history_files,
+    load_history,
+)
 from repro.obs.log import EventLog, NullLog
 from repro.obs.metrics import (
     REGISTRY,
@@ -44,12 +72,21 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "EventLog",
+    "FlightRecorder",
     "Gauge",
+    "HEALTH_DEGRADED",
+    "HEALTH_FAILING",
+    "HEALTH_OK",
+    "HealthMonitor",
+    "HealthReport",
     "Histogram",
+    "HistorySeries",
     "MetricsRegistry",
     "NullLog",
     "REGISTRY",
     "Tracer",
+    "history_files",
+    "load_history",
     "configure_tracing",
     "disable_tracing",
     "format_summary",

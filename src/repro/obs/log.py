@@ -7,6 +7,18 @@ and ordered.  ``red-qaoa serve --log-json --log-level debug`` turns it
 on; the default is a quiet human-readable one-liner per event at
 ``warning`` and above, so a healthy daemon stays silent.
 
+Two additions over the PR 9 sink:
+
+- a **recent-events ring**: the last ``ring`` events at ``info`` and
+  above are kept in memory regardless of the emit threshold, so the
+  ``health`` protocol verb and ``red-qaoa top`` can show what just
+  happened even on a quietly-configured daemon (:meth:`EventLog.recent`);
+- an optional **file sink with rotation** (``path`` / ``max_bytes`` /
+  ``backups``): lines go to a file instead of a stream, and when the
+  live file would exceed ``max_bytes`` it rotates to ``path.1`` (older
+  files shift up, the oldest past ``backups`` is dropped) -- a
+  long-running daemon's log is disk-bounded like its flight recorder.
+
 This is deliberately not the stdlib ``logging`` module: the daemon needs
 exactly one sink, one format, and zero global configuration leakage into
 library users' own logging setups.
@@ -18,6 +30,8 @@ import json
 import sys
 import threading
 import time
+from collections import deque
+from pathlib import Path
 
 __all__ = ["LEVELS", "EventLog", "NullLog"]
 
@@ -28,31 +42,97 @@ _RANK = {name: rank for rank, name in enumerate(LEVELS)}
 class EventLog:
     """Leveled event sink: NDJSON or plain text, one line per event."""
 
-    def __init__(self, level: str = "warning", json_mode: bool = False, stream=None) -> None:
+    def __init__(
+        self,
+        level: str = "warning",
+        json_mode: bool = False,
+        stream=None,
+        path: str | Path | None = None,
+        max_bytes: int = 10_000_000,
+        backups: int = 1,
+        ring: int = 256,
+    ) -> None:
         if level not in _RANK:
             raise ValueError(f"unknown log level {level!r} (choose from {LEVELS})")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if backups < 0:
+            raise ValueError(f"backups must be >= 0, got {backups}")
         self.level = level
         self.json_mode = json_mode
         self.stream = stream if stream is not None else sys.stderr
+        self.path = Path(path) if path is not None else None
+        self.max_bytes = int(max_bytes)
+        self.backups = int(backups)
         self._lock = threading.Lock()
         self._t0 = time.monotonic()
+        self._ring: deque = deque(maxlen=max(1, int(ring)))
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
 
     def enabled(self, level: str) -> bool:
         return _RANK[level] >= _RANK[self.level]
 
     def event(self, level: str, event: str, **fields) -> None:
-        """Record one event; dropped silently when below the threshold."""
+        """Record one event; dropped silently when below the threshold.
+
+        Events at ``info`` and above land in the in-memory ring even when
+        below the emit threshold -- recent history must survive a quiet
+        configuration.
+        """
+        uptime = round(time.monotonic() - self._t0, 3)
+        if _RANK[level] >= _RANK["info"]:
+            with self._lock:
+                self._ring.append(
+                    {"level": level, "event": event, "uptime": uptime, **fields}
+                )
         if not self.enabled(level):
             return
-        uptime = round(time.monotonic() - self._t0, 3)
-        if self.json_mode:
+        if self.json_mode or self.path is not None:
             record = {"level": level, "event": event, "uptime": uptime, **fields}
             line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         else:
             detail = " ".join(f"{key}={value}" for key, value in sorted(fields.items()))
             line = f"[{uptime:9.3f}] {level:<7} {event}" + (f" {detail}" if detail else "")
         with self._lock:
-            print(line, file=self.stream, flush=True)
+            if self.path is not None:
+                self._write_file(line)
+            else:
+                print(line, file=self.stream, flush=True)
+
+    def recent(self, count: int = 20) -> list[dict]:
+        """The newest ``count`` ring events, oldest first."""
+        with self._lock:
+            events = list(self._ring)
+        return events[-count:] if count >= 0 else events
+
+    # -- file sink (lock held) -----------------------------------------------
+
+    def _write_file(self, line: str) -> None:
+        encoded = line + "\n"
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            size = 0
+        if size and size + len(encoded) > self.max_bytes:
+            self._rotate()
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(encoded)
+
+    def _rotate(self) -> None:
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+            return
+        oldest = self._backup(self.backups)
+        oldest.unlink(missing_ok=True)
+        for index in range(self.backups - 1, 0, -1):
+            source = self._backup(index)
+            if source.exists():
+                source.replace(self._backup(index + 1))
+        self.path.replace(self._backup(1))
+
+    def _backup(self, index: int) -> Path:
+        return self.path.with_name(f"{self.path.name}.{index}")
 
     def debug(self, event: str, **fields) -> None:
         self.event("debug", event, **fields)
@@ -78,3 +158,6 @@ class NullLog(EventLog):
 
     def event(self, level: str, event: str, **fields) -> None:
         return
+
+    def recent(self, count: int = 20) -> list[dict]:
+        return []

@@ -37,9 +37,13 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "JOB_BUCKETS",
+    "KERNEL_BUCKETS",
     "MetricsRegistry",
     "REGISTRY",
+    "STAGE_BUCKETS",
     "get_registry",
+    "quantile_from_buckets",
     "snapshot_delta",
 ]
 
@@ -48,6 +52,23 @@ __all__ = [
 DEFAULT_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Per-metric bucket presets.  One shared default squeezes sub-millisecond
+#: kernel calls and multi-second jobs into one bucket each, which makes
+#: quantile estimates step functions; sizing buckets to the metric keeps
+#: roughly geometric resolution across its real dynamic range.
+KERNEL_BUCKETS = (  # sub-millisecond kernel work: plan builds, SA proposals
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 0.001, 0.0025,
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+STAGE_BUCKETS = (  # pipeline stages and queue waits: ~ms to tens of seconds
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+JOB_BUCKETS = (  # whole jobs: tens of ms to many minutes
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0,
 )
 
 
@@ -273,6 +294,33 @@ def snapshot_delta(current: dict, previous: dict) -> dict:
             "count": count,
         }
     return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def quantile_from_buckets(buckets, counts, q: float) -> float | None:
+    """Estimate the ``q`` quantile from per-bucket counts.
+
+    Linear interpolation within the containing bucket (the Prometheus
+    ``histogram_quantile`` convention); observations in the ``+Inf``
+    bucket clamp to the last finite bound.  Returns ``None`` for an empty
+    histogram.  Accepts per-bucket counts with or without the trailing
+    ``+Inf`` slot.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    counts = list(counts)
+    total = sum(counts)
+    if total == 0:
+        return None
+    target = q * total
+    cumulative = 0.0
+    lower = 0.0
+    for bound, count in zip(buckets, counts):
+        if count and cumulative + count >= target:
+            fraction = (target - cumulative) / count
+            return lower + (float(bound) - lower) * fraction
+        cumulative += count
+        lower = float(bound)
+    return float(buckets[-1])  # +Inf bucket: clamp to the last finite bound
 
 
 #: The process-local default registry all built-in instrumentation uses.

@@ -1,0 +1,256 @@
+"""``red-qaoa top``: a live terminal dashboard for a serve daemon.
+
+Polls the daemon's ``status`` / ``health`` protocol verbs (one socket
+round-trip each per frame) and renders a plain-ANSI dashboard:
+
+- header: daemon version / pid / uptime / drain state and the current
+  health verdict (with its reasons when not ok);
+- throughput: jobs, annealing steps, and light-cone points per second,
+  computed from counter deltas between consecutive frames;
+- queue: depth / running / completed / dead plus a per-shard depth bar;
+- workers: per-worker liveness and held claim, respawn count;
+- latency: p50 / p90 / p99 estimates from the job and queue-wait
+  histograms' bucket counts;
+- events: the daemon's most recent log events.
+
+``render_frame`` is a pure function of two samples (previous, current),
+so tests drive it with canned replies and never need a TTY; the CLI loop
+(:func:`run_top`) just clears the screen and reprints.  ``--once`` prints
+a single frame and exits -- scripts and CI can grab a dashboard snapshot
+without a terminal.
+
+Reading ``status`` and ``health`` takes the daemon's lock exactly like
+any client; the dashboard can change no result bit.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.obs.metrics import quantile_from_buckets
+from repro.serve.client import ServeClient
+
+__all__ = ["Top", "render_frame", "run_top"]
+
+_CLEAR = "\x1b[2J\x1b[H"  # clear screen + home
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RED = "\x1b[31m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+_RESET = "\x1b[0m"
+
+_VERDICT_COLOR = {"ok": _GREEN, "degraded": _YELLOW, "failing": _RED}
+
+#: Counters whose per-frame deltas become the throughput panel.
+_RATES = (
+    ("jobs/s", "redqaoa_jobs_completed_total"),
+    ("SA steps/s", "redqaoa_sa_steps_total"),
+    ("LC points/s", "redqaoa_lightcone_points_total"),
+)
+
+#: Histograms whose quantiles become the latency panel.
+_LATENCIES = (
+    ("job", "redqaoa_job_seconds"),
+    ("queue wait", "redqaoa_queue_wait_seconds"),
+)
+
+
+class Top:
+    """Sample a daemon and render dashboard frames."""
+
+    def __init__(self, socket_path, color: bool = True, timeout: float = 10.0) -> None:
+        self.client = ServeClient(socket_path, timeout=timeout)
+        self.color = color
+        self._previous: dict | None = None
+
+    def sample(self) -> dict:
+        """One poll: status + health replies plus a monotonic stamp."""
+        return {
+            "monotonic": time.monotonic(),
+            "status": self.client.status(),
+            "health": self.client.health(),
+        }
+
+    def frame(self) -> str:
+        """Poll once and render against the previous poll."""
+        current = self.sample()
+        text = render_frame(current, self._previous, color=self.color)
+        self._previous = current
+        return text
+
+
+def _paint(text: str, code: str, color: bool) -> str:
+    return f"{code}{text}{_RESET}" if color else text
+
+
+def _fmt_rate(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "--"
+    if value < 0.001:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _fmt_uptime(seconds: float) -> str:
+    seconds = int(seconds)
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m{secs:02d}s"
+    if minutes:
+        return f"{minutes}m{secs:02d}s"
+    return f"{secs}s"
+
+
+def render_frame(current: dict, previous: dict | None = None, color: bool = True) -> str:
+    """One dashboard frame from a current (and optional previous) sample."""
+    status = current["status"]
+    health = current["health"].get("health", {})
+    events = current["health"].get("events", [])
+    queue = status.get("queue", {})
+    workers = status.get("workers", {})
+    metrics = status.get("metrics", {})
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+
+    lines: list[str] = []
+    verdict = health.get("status", "unknown")
+    verdict_text = _paint(
+        verdict.upper(), _VERDICT_COLOR.get(verdict, _YELLOW) + _BOLD, color
+    )
+    draining = " draining" if status.get("draining") else ""
+    lines.append(
+        _paint("red-qaoa top", _BOLD, color)
+        + f" -- v{status.get('version', '?')}"
+        + f" pid {status.get('pid', '?')}"
+        + f" up {_fmt_uptime(status.get('uptime', 0.0))}"
+        + f"{draining} -- health {verdict_text}"
+    )
+    for reason in health.get("reasons", []):
+        mark = _RED if reason.get("severity") == "failing" else _YELLOW
+        lines.append("  " + _paint(f"! {reason.get('detail', '')}", mark, color))
+    lines.append("")
+
+    # -- throughput (needs two frames) ---------------------------------------
+    parts = []
+    if previous is not None:
+        elapsed = current["monotonic"] - previous["monotonic"]
+        before = previous["status"].get("metrics", {}).get("counters", {})
+        if elapsed > 0:
+            for label, name in _RATES:
+                v0, v1 = before.get(name), counters.get(name)
+                if v0 is not None and v1 is not None and v1 >= v0:
+                    parts.append(f"{label} {_fmt_rate((v1 - v0) / elapsed)}")
+    lines.append(
+        _paint("throughput", _BOLD, color)
+        + "  "
+        + ("  ".join(parts) if parts else _paint("(one more frame...)", _DIM, color))
+    )
+
+    # -- queue ---------------------------------------------------------------
+    lines.append(
+        _paint("queue", _BOLD, color)
+        + f"       depth {queue.get('depth', 0)}"
+        + f"  running {queue.get('running', 0)}"
+        + f"  completed {queue.get('completed', 0)}"
+        + f"  dead {queue.get('dead', 0)}"
+        + f"  requeues {queue.get('requeues', 0)}"
+    )
+    depths = queue.get("shard_depths", {})
+    if depths:
+        peak = max(depths.values())
+        for shard, depth in sorted(depths.items()):
+            bar = "#" * max(1, round(24 * depth / peak)) if peak else ""
+            lines.append(f"  shard {shard}  {depth:>5}  {_paint(bar, _DIM, color)}")
+
+    # -- workers -------------------------------------------------------------
+    states = workers.get("states", [])
+    alive = sum(1 for s in states if s.get("alive"))
+    busy = sum(1 for s in states if s.get("claim") is not None)
+    lines.append(
+        _paint("workers", _BOLD, color)
+        + f"     {alive}/{len(states) or workers.get('count', 0)} alive"
+        + f"  {busy} busy"
+        + f"  respawns {workers.get('respawns', 0)}"
+    )
+    for state in states:
+        claim = state.get("claim")
+        verb = f"claim {claim}" if claim is not None else "idle"
+        health_mark = "" if state.get("alive") else _paint(" DEAD", _RED, color)
+        lines.append(f"  w{state.get('id')}  pid {state.get('pid')}  {verb}{health_mark}")
+
+    # -- latency -------------------------------------------------------------
+    parts = []
+    for label, name in _LATENCIES:
+        data = histograms.get(name)
+        if not data or not sum(data.get("counts", [])):
+            continue
+        quantiles = [
+            _fmt_seconds(quantile_from_buckets(data["buckets"], data["counts"], q))
+            for q in (0.5, 0.9, 0.99)
+        ]
+        parts.append(f"{label} p50/p90/p99 {'/'.join(quantiles)}")
+    if parts:
+        lines.append(_paint("latency", _BOLD, color) + "     " + "  ".join(parts))
+
+    # -- events --------------------------------------------------------------
+    if events:
+        lines.append(_paint("events", _BOLD, color))
+        for event in events[-6:]:
+            extra = " ".join(
+                f"{key}={value}"
+                for key, value in sorted(event.items())
+                if key not in ("level", "event", "uptime")
+            )
+            mark = _RED if event.get("level") == "error" else (
+                _YELLOW if event.get("level") == "warning" else _DIM
+            )
+            lines.append(
+                "  "
+                + _paint(
+                    f"[{event.get('uptime', 0.0):9.3f}] {event.get('event')}"
+                    + (f" {extra}" if extra else ""),
+                    mark,
+                    color,
+                )
+            )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    socket_path,
+    interval: float = 2.0,
+    once: bool = False,
+    color: bool | None = None,
+    stream=None,
+) -> int:
+    """The ``red-qaoa top`` loop; returns a process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    if color is None:
+        color = bool(getattr(stream, "isatty", lambda: False)())
+    top = Top(socket_path, color=color)
+    if once:
+        stream.write(top.frame())
+        stream.flush()
+        return 0
+    try:
+        while True:
+            frame = top.frame()
+            stream.write(_CLEAR + frame)
+            stream.flush()
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        stream.write("\n")
+        return 0

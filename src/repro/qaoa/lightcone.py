@@ -50,7 +50,7 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
-from repro.obs.metrics import REGISTRY
+from repro.obs.metrics import KERNEL_BUCKETS, REGISTRY
 from repro.obs.trace import span
 from repro.qaoa.fast_sim import qaoa_expectation_batch, qaoa_probabilities
 from repro.qaoa.hamiltonian import MaxCutHamiltonian
@@ -79,6 +79,16 @@ _LC_EVALS = REGISTRY.counter(
 )
 _LC_SECONDS = REGISTRY.counter(
     "redqaoa_lightcone_seconds_total", "seconds spent in plan evaluation"
+)
+_PLAN_BUILD_DURATION = REGISTRY.histogram(
+    "redqaoa_plan_build_duration_seconds",
+    "per-plan compile latency",
+    buckets=KERNEL_BUCKETS,
+)
+_LC_EVAL_DURATION = REGISTRY.histogram(
+    "redqaoa_lightcone_evaluate_seconds",
+    "per-call batched evaluation latency",
+    buckets=KERNEL_BUCKETS,
 )
 
 
@@ -249,7 +259,9 @@ class LightconePlan:
                 for edge, nodes, count in representatives.values()
             ]
         _PLAN_BUILDS.inc()
-        _PLAN_BUILD_SECONDS.inc(time.perf_counter() - t0)
+        build_seconds = time.perf_counter() - t0
+        _PLAN_BUILD_SECONDS.inc(build_seconds)
+        _PLAN_BUILD_DURATION.observe(build_seconds)
         return cls(p=p, max_qubits=max_qubits, num_edges=num_edges, classes=classes)
 
     @classmethod
@@ -308,7 +320,9 @@ class LightconePlan:
         out = np.zeros(gammas.shape[0])
         for compiled in self.classes:
             out += compiled.count * compiled.evaluate(gammas, betas)
-        _LC_SECONDS.inc(time.perf_counter() - t0)
+        eval_seconds = time.perf_counter() - t0
+        _LC_SECONDS.inc(eval_seconds)
+        _LC_EVAL_DURATION.observe(eval_seconds)
         _LC_POINTS.inc(gammas.shape[0])
         _LC_EVALS.inc(gammas.shape[0] * len(self.classes))
         return out

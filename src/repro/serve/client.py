@@ -158,6 +158,13 @@ class ServeClient:
             raise ServeError(reply)
         return reply
 
+    def health(self) -> dict:
+        """Verdict + reasons + recent events from the daemon's ``health`` op."""
+        reply = self.request({"op": "health"})
+        if not reply.get("ok"):
+            raise ServeError(reply)
+        return reply
+
     def drain(self) -> dict:
         return self.request({"op": "drain"})
 

@@ -34,12 +34,15 @@ result, and resubmitting the same manifest re-runs only what is missing.
 from __future__ import annotations
 
 import itertools
+import os
 import socket
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.health import HealthMonitor
+from repro.obs.history import FlightRecorder
 from repro.obs.log import NullLog
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import Tracer
@@ -121,6 +124,11 @@ class ServeDaemon:
         poll_interval: float = 0.02,
         trace_path: str | Path | None = None,
         log=None,
+        history_path: str | Path | None = None,
+        history_interval: float = 5.0,
+        stuck_after: float = 300.0,
+        health_window: float = 60.0,
+        stuck_requeue: bool = False,
     ) -> None:
         self.socket_path = Path(socket_path)
         self.store = ResultStore(store_path) if store_path is not None else None
@@ -148,6 +156,30 @@ class ServeDaemon:
         self._shutdown = False
         self._stopped = False
         self.started = time.monotonic()
+        self.started_unix = time.time()
+        self.pid = os.getpid()
+        # Layer-two observability: the flight recorder (periodic registry
+        # snapshots into a rotating ring) and the health monitor (live
+        # verdicts over queue/pool/claim state).  Both pure side channels.
+        self.recorder = (
+            FlightRecorder(
+                history_path,
+                interval=history_interval,
+                meta={"pid": self.pid, "started_unix": self.started_unix},
+            )
+            if history_path is not None
+            else None
+        )
+        self.monitor = HealthMonitor(
+            self.queue,
+            self.pool,
+            self._claims,
+            stuck_after=stuck_after,
+            incident_window=health_window,
+            requeue_stuck=stuck_requeue,
+            log=self.log,
+        )
+        self._last_health_check = 0.0
 
     # -- operations (connection threads call these under no lock) ------------
 
@@ -222,6 +254,8 @@ class ServeDaemon:
             info = {
                 "version": __version__,
                 "protocol": PROTOCOL_VERSION,
+                "pid": self.pid,
+                "started_unix": self.started_unix,
                 "draining": self._draining,
                 "uptime": time.monotonic() - self.started,
                 "queue": self.queue.stats(),
@@ -229,6 +263,7 @@ class ServeDaemon:
                     "count": self.pool.workers,
                     "pids": self.pool.worker_pids(),
                     "respawns": getattr(self.pool, "respawns", 0),
+                    "states": self.pool.worker_states(),
                 },
                 "tickets": len(self.tickets),
             }
@@ -246,6 +281,14 @@ class ServeDaemon:
         return ok_reply(
             metrics=REGISTRY.snapshot(), prometheus=REGISTRY.render_prometheus()
         )
+
+    def health(self) -> dict:
+        """The ``health`` op: a fresh verdict plus recent events."""
+        with self._lock:
+            report = self.monitor.check()
+            return ok_reply(
+                health=report.to_dict(), events=self.log.recent(20)
+            )
 
     def request_drain(self) -> dict:
         with self._lock:
@@ -292,7 +335,7 @@ class ServeDaemon:
 
     def run_pump_once(self) -> bool:
         """One scheduling step; the daemon's heartbeat (exposed for tests)."""
-        return pump(
+        progressed = pump(
             self.queue,
             self.pool,
             self._claims,
@@ -302,6 +345,20 @@ class ServeDaemon:
             tracer=self.tracer,
             log=self.log,
         )
+        self._tick()
+        return progressed
+
+    def _tick(self) -> None:
+        """Periodic side-channel work riding the pump: snapshots + health."""
+        now = time.monotonic()
+        if now - self._last_health_check >= 1.0:
+            self._last_health_check = now
+            with self._lock:
+                self.monitor.check()
+        if self.recorder is not None and self.recorder.due():
+            with self._lock:
+                extra = {"queue": self.queue.stats()}
+            self.recorder.record(extra)
 
     def _finished(self) -> bool:
         with self._lock:
@@ -348,6 +405,10 @@ class ServeDaemon:
                 # A final metrics record makes the trace self-contained:
                 # `red-qaoa trace summarize` derives its cache table here.
                 self.tracer.write_metrics(REGISTRY.snapshot())
+            if self.recorder is not None:
+                # One last snapshot so the history ends at shutdown, not at
+                # the last interval boundary before it.
+                self.recorder.record({"queue": self.queue.stats(), "final": True})
             self.log.info("daemon_stopped", completed=len(self.queue.completed))
 
     def _accept_loop(self, server: socket.socket) -> None:
@@ -382,6 +443,8 @@ class ServeDaemon:
                     self._write(stream, self.status())
                 elif op == "metrics":
                     self._write(stream, self.metrics())
+                elif op == "health":
+                    self._write(stream, self.health())
                 elif op == "drain":
                     self._write(stream, self.request_drain())
                 elif op == "shutdown":

@@ -22,11 +22,15 @@ Requests (``{"op": ..., ...}``):
     ``{"event": "result", ...}`` line the moment it lands, terminated by
     one ``{"event": "done", ...}`` summary line.
 ``status``
-    Queue depth/backlog, worker pids, drain state, version, and a
-    metrics snapshot.
+    Queue depth/backlog, worker pids, drain state, version, daemon
+    identity (pid / start time), and a metrics snapshot.
 ``metrics``
     A full metrics snapshot plus its Prometheus text rendering -- point a
     scraper bridge here.
+``health``
+    The daemon's self-diagnosis (:mod:`repro.obs.health`): an
+    ``ok`` / ``degraded`` / ``failing`` verdict with per-check statuses
+    and machine-readable reasons, plus recent events.
 ``drain``
     Stop admitting new submissions; polls and streams keep working.
 ``shutdown``
@@ -52,9 +56,18 @@ __all__ = [
     "ok_reply",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2  # v2: +health op, daemon identity in status
 
-OPS = ("submit", "poll", "stream", "status", "metrics", "drain", "shutdown")
+OPS = (
+    "submit",
+    "poll",
+    "stream",
+    "status",
+    "metrics",
+    "health",
+    "drain",
+    "shutdown",
+)
 
 
 class ProtocolError(ValueError):

@@ -133,6 +133,8 @@ class ShardClaim:
     jobs: list[QueuedJob]
     reductions: dict | None = None
     done: set = field(default_factory=set)  # fingerprints resolved so far
+    claimed_ns: int = 0  # perf_counter_ns at claim time
+    progress_ns: int = 0  # last landed/failed result (the watchdog's heartbeat)
 
     @property
     def specs(self) -> list[JobSpec]:
@@ -195,6 +197,7 @@ class ShardedJobQueue:
         self.deduped = 0
         self.rejected = 0
         self.crashes = 0
+        self.requeues = 0
         self._pending: dict[str, dict[str, QueuedJob]] = {}  # shard -> fp -> job
         self._running: dict[str, QueuedJob] = {}  # fp -> job (claimed)
         self._claimed_shards: set[str] = set()
@@ -246,9 +249,15 @@ class ShardedJobQueue:
             "deduped": self.deduped,
             "rejected": self.rejected,
             "crashes": self.crashes,
+            "requeues": self.requeues,
             "shards": sorted(
                 shard for shard, jobs in self._pending.items() if jobs
             ),
+            "shard_depths": {
+                shard: len(jobs)
+                for shard, jobs in sorted(self._pending.items())
+                if jobs
+            },
             "high_water": self.high_water,
         }
 
@@ -331,7 +340,12 @@ class ShardedJobQueue:
                 if key in self.reductions
             }
         return ShardClaim(
-            id=next(self._claim_ids), shard=shard, jobs=jobs, reductions=reductions
+            id=next(self._claim_ids),
+            shard=shard,
+            jobs=jobs,
+            reductions=reductions,
+            claimed_ns=claimed_ns,
+            progress_ns=claimed_ns,
         )
 
     # -- resolution ----------------------------------------------------------
@@ -341,6 +355,7 @@ class ShardedJobQueue:
         before this returns."""
         self._running.pop(fingerprint, None)
         claim.done.add(fingerprint)
+        claim.progress_ns = time.perf_counter_ns()
         self.completed[fingerprint] = result
         _COMPLETED.inc()
         _RUNNING.set(self.num_running)
@@ -354,6 +369,7 @@ class ShardedJobQueue:
         """
         job = self._running.pop(fingerprint, None)
         claim.done.add(fingerprint)
+        claim.progress_ns = time.perf_counter_ns()
         if job is None:  # unknown fingerprint: nothing to do
             return "dead"
         job.attempts += 1
@@ -362,6 +378,7 @@ class ShardedJobQueue:
             self._park(job, error)
             return "dead"
         self._pending.setdefault(job.shard, {})[fingerprint] = job
+        self.requeues += 1
         _REQUEUED.inc()
         _DEPTH.set(self.depth)
         return "requeued"
@@ -389,6 +406,7 @@ class ShardedJobQueue:
                 self._park(job, "worker crashed while executing this shard")
             else:
                 self._pending.setdefault(job.shard, {})[job.fingerprint] = job
+                self.requeues += 1
                 _REQUEUED.inc()
                 requeued.append(job)
         self.finish_claim(claim)

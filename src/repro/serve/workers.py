@@ -43,7 +43,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.obs.log import NullLog
-from repro.obs.metrics import REGISTRY, snapshot_delta
+from repro.obs.metrics import JOB_BUCKETS, REGISTRY, STAGE_BUCKETS, snapshot_delta
 from repro.obs.trace import Tracer, get_tracer, install_tracer, span, using_tracer
 from repro.qaoa.lightcone import PlanCache
 from repro.serve.queue import ShardClaim, ShardedJobQueue
@@ -53,10 +53,14 @@ _RESPAWNS = REGISTRY.counter(
     "redqaoa_worker_respawns_total", "replacement workers spawned after a crash"
 )
 _JOB_SECONDS = REGISTRY.histogram(
-    "redqaoa_job_seconds", "submit-to-durable latency per completed job"
+    "redqaoa_job_seconds",
+    "submit-to-durable latency per completed job",
+    buckets=JOB_BUCKETS,
 )
 _QUEUE_WAIT_SECONDS = REGISTRY.histogram(
-    "redqaoa_queue_wait_seconds", "submit-to-claim wait per completed job"
+    "redqaoa_queue_wait_seconds",
+    "submit-to-claim wait per completed job",
+    buckets=STAGE_BUCKETS,
 )
 
 _NULL_LOG = NullLog()
@@ -186,6 +190,13 @@ class InlineWorkerPool:
     def worker_pids(self) -> list[int]:
         return [os.getpid()]
 
+    def worker_states(self) -> list[dict]:
+        return [{"id": 0, "pid": os.getpid(), "alive": True, "claim": None}]
+
+    def kick(self, claim_id: int) -> bool:
+        """Inline execution is synchronous; there is never a worker to kick."""
+        return False
+
     def dispatch(self, claim: ShardClaim) -> None:
         # Collect spans whenever tracing is on so the pump stitches inline
         # jobs exactly like process-worker jobs.  Metrics need no delta:
@@ -305,6 +316,34 @@ class ProcessWorkerPool:
 
     def worker_pids(self) -> list[int]:
         return [worker.process.pid for worker in self._pool]
+
+    def worker_states(self) -> list[dict]:
+        """Liveness and claim per worker (the health monitor's view)."""
+        return [
+            {
+                "id": worker.id,
+                "pid": worker.process.pid,
+                "alive": worker.process.is_alive(),
+                "claim": worker.claim_id,
+            }
+            for worker in self._pool
+        ]
+
+    def kick(self, claim_id: int) -> bool:
+        """Kill the worker holding ``claim_id`` (the stuck-shard watchdog).
+
+        The kill is deliberately the same signal a crash test sends: the
+        very next :meth:`poll` sees the pipe EOF, surfaces one
+        ``worker_crashed`` event, the queue requeues the claim's
+        unfinished jobs through the normal attempt accounting, and the
+        pool respawns a replacement.  No new recovery path to maintain --
+        a stuck worker is handled exactly like a dead one.
+        """
+        for worker in self._pool:
+            if worker.claim_id == claim_id and worker.process.is_alive():
+                worker.process.kill()
+                return True
+        return False
 
     def dispatch(self, claim: ShardClaim) -> None:
         worker = min(

@@ -4,12 +4,16 @@ import pytest
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    JOB_BUCKETS,
+    KERNEL_BUCKETS,
+    STAGE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     REGISTRY,
     get_registry,
+    quantile_from_buckets,
     snapshot_delta,
 )
 
@@ -140,6 +144,40 @@ class TestSnapshotsAndMerge:
         assert delta["histograms"]["seconds"]["counts"] == [0, 0, 1]
         assert delta["histograms"]["seconds"]["count"] == 1
 
+    def test_delta_with_metric_only_in_current(self):
+        # a worker registers a counter mid-shard: previous knows nothing
+        # about it, so the whole value is new and must ship in the delta
+        registry = self._loaded()
+        before = registry.snapshot()
+        registry.counter("late_total").inc(7)
+        registry.histogram("late_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        delta = snapshot_delta(registry.snapshot(), before)
+        assert delta["counters"]["late_total"] == 7.0
+        assert delta["histograms"]["late_seconds"]["count"] == 1
+        assert delta["histograms"]["late_seconds"]["counts"] == [0, 1, 0]
+
+    def test_delta_with_metric_only_in_previous(self):
+        # the mirror case: a metric the current snapshot no longer carries
+        # (a reset registry) contributes nothing rather than a negative
+        before = self._loaded().snapshot()
+        delta = snapshot_delta(
+            {"counters": {}, "gauges": {}, "histograms": {}}, before
+        )
+        assert delta["counters"] == {}
+        assert delta["gauges"] == {}
+        assert delta["histograms"] == {}
+
+    def test_merge_tolerates_one_sided_and_partial_snapshots(self):
+        target = self._loaded()
+        baseline = target.snapshot()
+        target.merge({})  # no sections at all
+        assert target.snapshot() == baseline
+        target.merge({"counters": {"other_total": 4.0}})  # counters only
+        snapshot = target.snapshot()
+        assert snapshot["counters"]["other_total"] == 4.0
+        assert snapshot["counters"]["jobs_total"] == baseline["counters"]["jobs_total"]
+        assert snapshot["histograms"] == baseline["histograms"]
+
     def test_delta_then_merge_round_trips(self):
         # the worker->pump shipping contract: merging a delta never
         # double-counts what the previous shard already shipped
@@ -180,6 +218,45 @@ class TestPrometheusExposition:
 
     def test_default_buckets_are_ascending(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestBucketPresets:
+    """Per-metric bucket overrides sized to each metric's dynamic range."""
+
+    def test_presets_are_strictly_ascending(self):
+        for preset in (KERNEL_BUCKETS, STAGE_BUCKETS, JOB_BUCKETS):
+            assert list(preset) == sorted(set(preset))
+
+    def test_kernel_preset_resolves_sub_millisecond_work(self):
+        # the default buckets dump all sub-ms observations into one slot;
+        # the kernel preset keeps several bounds below 1ms so quantiles
+        # of fast kernel calls are not step functions
+        assert sum(1 for b in KERNEL_BUCKETS if b < 0.001) >= 4
+        assert sum(1 for b in DEFAULT_BUCKETS if b < 0.001) == 0
+        histogram = Histogram("k", buckets=KERNEL_BUCKETS)
+        for value in (2e-5, 8e-5, 3e-4):
+            histogram.observe(value)
+        p50 = quantile_from_buckets(histogram.buckets, histogram.counts, 0.5)
+        assert p50 is not None and p50 < 0.001
+
+    def test_job_preset_reaches_minute_scale(self):
+        assert max(JOB_BUCKETS) >= 600.0
+
+    def test_wired_histograms_use_their_presets(self):
+        job = REGISTRY.get("redqaoa_job_seconds")
+        wait = REGISTRY.get("redqaoa_queue_wait_seconds")
+        assert tuple(job.buckets) == JOB_BUCKETS
+        assert tuple(wait.buckets) == STAGE_BUCKETS
+
+    def test_first_registration_owns_the_buckets(self):
+        # get-or-create: a later caller with different buckets gets the
+        # existing instrument back (merge relies on this to detect and
+        # drop incompatible shapes instead of corrupting counts)
+        registry = MetricsRegistry()
+        first = registry.histogram("seconds", buckets=STAGE_BUCKETS)
+        second = registry.histogram("seconds", buckets=JOB_BUCKETS)
+        assert second is first
+        assert tuple(second.buckets) == STAGE_BUCKETS
 
 
 class TestWiredCounters:

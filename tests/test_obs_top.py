@@ -1,0 +1,146 @@
+"""Tests for the ``red-qaoa top`` dashboard (repro.obs.top)."""
+
+import contextlib
+import threading
+
+from repro.cli import main
+from repro.obs.top import Top, render_frame
+from repro.serve.client import ServeClient, ServeError, wait_for_socket
+from repro.serve.daemon import ServeDaemon
+
+
+def _sample(monotonic=100.0, counters=None, histograms=None, reasons=None,
+            status="ok", events=None, shard_depths=None):
+    return {
+        "monotonic": monotonic,
+        "status": {
+            "ok": True,
+            "version": "1.5.0",
+            "pid": 4242,
+            "uptime": 3723.0,
+            "draining": False,
+            "queue": {
+                "depth": 5, "running": 2, "completed": 40, "dead": 1,
+                "requeues": 3, "shard_depths": shard_depths or {"a": 3, "b": 2},
+            },
+            "workers": {
+                "count": 2, "respawns": 1,
+                "states": [
+                    {"id": 0, "pid": 100, "alive": True, "claim": 9},
+                    {"id": 1, "pid": 101, "alive": True, "claim": None},
+                ],
+            },
+            "metrics": {
+                "counters": counters or {},
+                "histograms": histograms or {},
+            },
+        },
+        "health": {
+            "ok": True,
+            "health": {"status": status, "checks": {}, "reasons": reasons or []},
+            "events": events or [],
+        },
+    }
+
+
+class TestRenderFrame:
+    def test_header_carries_identity_and_verdict(self):
+        frame = render_frame(_sample(), color=False)
+        assert "v1.5.0" in frame and "pid 4242" in frame
+        assert "up 1h02m03s" in frame
+        assert "health OK" in frame
+
+    def test_reasons_render_when_degraded(self):
+        frame = render_frame(
+            _sample(status="degraded",
+                    reasons=[{"check": "workers", "severity": "degraded",
+                              "detail": "1 of 2 workers dead"}]),
+            color=False,
+        )
+        assert "health DEGRADED" in frame
+        assert "! 1 of 2 workers dead" in frame
+
+    def test_queue_panel_shows_depths_and_shard_bars(self):
+        frame = render_frame(_sample(shard_depths={"a": 4, "f": 1}), color=False)
+        assert "depth 5" in frame and "requeues 3" in frame
+        assert "shard a" in frame and "shard f" in frame
+
+    def test_throughput_needs_two_frames(self):
+        first = _sample(100.0, counters={"redqaoa_jobs_completed_total": 100})
+        frame = render_frame(first, None, color=False)
+        assert "one more frame" in frame
+        second = _sample(110.0, counters={"redqaoa_jobs_completed_total": 150})
+        frame = render_frame(second, first, color=False)
+        assert "jobs/s 5.00" in frame
+
+    def test_latency_quantiles_from_histogram(self):
+        histograms = {
+            "redqaoa_job_seconds": {
+                "buckets": [1.0, 2.0], "counts": [10, 10, 0],
+                "sum": 30.0, "count": 20,
+            }
+        }
+        frame = render_frame(_sample(histograms=histograms), color=False)
+        assert "latency" in frame and "p50/p90/p99" in frame
+
+    def test_events_render_with_fields(self):
+        events = [{"level": "error", "event": "worker_crashed",
+                   "uptime": 12.5, "claim": 7}]
+        frame = render_frame(_sample(events=events), color=False)
+        assert "worker_crashed" in frame and "claim=7" in frame
+
+    def test_color_mode_emits_ansi_plain_mode_does_not(self):
+        plain = render_frame(_sample(), color=False)
+        assert "\x1b[" not in plain
+        colored = render_frame(_sample(), color=True)
+        assert "\x1b[1m" in colored and "\x1b[32m" in colored
+
+
+@contextlib.contextmanager
+def _daemon(tmp_path):
+    daemon = ServeDaemon(
+        socket_path=tmp_path / "serve.sock", store_path=tmp_path / "store.jsonl"
+    )
+    thread = threading.Thread(
+        target=daemon.serve_forever,
+        kwargs={"install_signal_handlers": False},
+        daemon=True,
+    )
+    thread.start()
+    wait_for_socket(daemon.socket_path)
+    client = ServeClient(daemon.socket_path)
+    try:
+        yield daemon, client
+    finally:
+        if not daemon._stopped:
+            with contextlib.suppress(OSError, ServeError):
+                client.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+
+class TestTopLive:
+    def test_top_once_renders_against_a_live_daemon(self, tmp_path, capsys):
+        """The ISSUE acceptance criterion: `red-qaoa top --once` renders."""
+        manifest = {
+            "schema": 1,
+            "defaults": {"restarts": 1, "maxiter": 6},
+            "jobs": [{"kind": "maxcut", "nodes": 8, "seed": 0}],
+        }
+        with _daemon(tmp_path) as (daemon, client):
+            client.wait(client.submit(manifest)["ticket"], timeout=120)
+            code = main(["top", "--socket", str(daemon.socket_path), "--once"])
+            out = capsys.readouterr().out
+        assert code == 0
+        assert "red-qaoa top" in out
+        assert "health OK" in out
+        assert "completed 1" in out
+        assert "\x1b[" not in out  # non-TTY default is plain text
+
+    def test_top_object_accumulates_frames(self, tmp_path):
+        with _daemon(tmp_path) as (daemon, client):
+            top = Top(daemon.socket_path, color=False)
+            first = top.frame()
+            assert "one more frame" in first
+            second = top.frame()
+            assert "one more frame" not in second
